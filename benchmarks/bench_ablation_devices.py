@@ -1,0 +1,62 @@
+"""Ablation: modeled extraction time across GPU generations (paper §V).
+
+The paper closes with "we also want to evaluate the performance of GPUMEM
+with newer GPUs such as Tesla K40". The analytic cost model makes that a
+parameter sweep: the same workload's modeled extraction time on the K20c
+(the paper's card), the K40, and a modern many-SM part.
+
+Expected shape: modeled time improves with SM count x clock x
+warps-in-flight per SM; workloads of many small blocks (long query over a
+tiny reference) spread best over a many-SM part, while a few heavy blocks
+bound the gain (the busiest-SM makespan dominates).
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import BENCH_DIV, gpumem_params
+from repro.bench.harness import bench_pair as _bench_pair
+from repro.bench.reporting import series_csv
+from repro.core.perf_model import model_extraction
+from repro.gpu.device import AMPERE_A100, TESLA_K20C, TESLA_K40
+from repro.sequence.datasets import EXPERIMENT_CONFIGS
+
+DEVICES = [TESLA_K20C, TESLA_K40, AMPERE_A100]
+
+
+def bench_devices_k20_model(benchmark):
+    config = EXPERIMENT_CONFIGS[7]
+    reference, query = _bench_pair(config, div=BENCH_DIV * 2)
+    benchmark(
+        model_extraction, reference, query, gpumem_params(config),
+        balanced=True, spec=TESLA_K20C,
+    )
+
+
+def generate_series(div: int | None = None) -> str:
+    rows = []
+    for config in (EXPERIMENT_CONFIGS[1], EXPERIMENT_CONFIGS[7]):
+        reference, query = _bench_pair(config, div)
+        params = gpumem_params(config)
+        base = None
+        for spec in DEVICES:
+            res = model_extraction(reference, query, params, balanced=True,
+                                   spec=spec)
+            if base is None:
+                base = res.seconds
+            rows.append(
+                (
+                    config.key,
+                    spec.name,
+                    round(res.seconds, 6),
+                    round(base / res.seconds, 2) if res.seconds else float("inf"),
+                )
+            )
+    lines = ["== Ablation: modeled extraction across GPU generations =="]
+    lines.append(
+        series_csv(["config", "device", "modeled_seconds", "speedup_vs_K20c"], rows)
+    )
+    return "\n".join(lines) + "\n"
+
+
+if __name__ == "__main__":
+    print(generate_series())

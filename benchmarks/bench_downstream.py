@@ -1,0 +1,51 @@
+"""Micro-benchmarks of the downstream pipeline components.
+
+Not paper figures — engineering benches for the anchor consumers the
+paper's §I motivates: collinear chaining, anchored alignment, synteny
+clustering, and MEM-seeded read mapping.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro
+from repro.align import align_from_anchors
+from repro.core.chaining import chain_anchors
+from repro.core.mapping import ReadMapper
+from repro.core.synteny import synteny_blocks
+from repro.sequence.synthetic import markov_dna, mutate
+
+
+def _anchored_pair():
+    R = markov_dna(30_000, seed=71)
+    Q = mutate(R, rate=0.03, indel_rate=0.002, seed=72)
+    mems = repro.find_mems(R, Q, min_length=15, seed_length=8)
+    return R, Q, mems
+
+
+def bench_chaining(benchmark):
+    _, _, mems = _anchored_pair()
+    chain = benchmark(chain_anchors, mems)
+    assert chain.score > 0
+
+
+def bench_synteny_clustering(benchmark):
+    _, _, mems = _anchored_pair()
+    blocks = benchmark(synteny_blocks, mems.array, max_gap=500)
+    assert blocks
+
+
+def bench_anchored_alignment(benchmark):
+    R, Q, mems = _anchored_pair()
+    chain = chain_anchors(mems)
+    aln = benchmark(align_from_anchors, R, Q, chain)
+    assert aln.identity > 0.9
+
+
+def bench_read_mapping(benchmark):
+    R = markov_dna(100_000, seed=73)
+    mapper = ReadMapper(R, min_seed=20, seed_length=9)
+    read = mutate(R[40_000:43_000], rate=0.06, seed=74)
+    mapping = benchmark(mapper.map_read, read)
+    assert mapping.mapped

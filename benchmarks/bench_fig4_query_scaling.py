@@ -1,0 +1,62 @@
+"""Fig. 4: GPUMEM extraction time and #MEMs versus query size.
+
+Reference chr1m, query = growing prefixes of chr2h (the paper's 50/100/150/
+200/243 Mbp points, as fractions of our scaled length), L = 50.
+
+Expected shape: both the extraction time and the number of extracted MEMs
+grow ~linearly with |Q|, tracking each other.
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import BENCH_DIV, gpumem_params
+from repro.bench.reporting import series_csv
+from repro.bench.workloads import FIG4_FRACTIONS
+from repro.core.matcher import GpuMem
+from repro.sequence.datasets import EXPERIMENT_CONFIGS, load_experiment
+
+CONFIG = EXPERIMENT_CONFIGS[1]  # chr1m/chr2h, L = 50
+
+
+def _pair(div: int):
+    reference, query = load_experiment(CONFIG)
+    return reference[: reference.size // div], query
+
+
+def bench_fig4_smallest_prefix(benchmark):
+    reference, query = _pair(BENCH_DIV)
+    prefix = query[: int(query.size * FIG4_FRACTIONS[0]) // BENCH_DIV]
+    matcher = GpuMem(gpumem_params(CONFIG))
+    benchmark(matcher.find_mems, reference, prefix)
+
+
+def generate_series(div: int | None = None) -> str:
+    div = BENCH_DIV if div is None else div
+    reference, query = _pair(div)
+    matcher = GpuMem(gpumem_params(CONFIG))
+    rows = []
+    for frac in FIG4_FRACTIONS:
+        prefix = query[: int(query.size * frac) // div]
+        result = matcher.find_mems(reference, prefix)
+        rows.append(
+            (
+                prefix.size,
+                round(matcher.stats["total_time"] - matcher.stats["index_time"], 4),
+                len(result),
+            )
+        )
+    header = ["query_len", "extract_seconds", "n_mems"]
+    lines = ["== Fig. 4: extraction time and #MEMs vs query size (L=50) =="]
+    lines.append(series_csv(header, rows))
+    # Shape check annotations: ratios against the smallest prefix.
+    base_q, base_t, base_m = rows[0]
+    for q, t, m in rows:
+        lines.append(
+            f"  |Q| x{q / base_q:5.2f}  time x{t / base_t if base_t else 0:5.2f}"
+            f"  mems x{m / base_m if base_m else 0:5.2f}"
+        )
+    return "\n".join(lines) + "\n"
+
+
+if __name__ == "__main__":
+    print(generate_series())

@@ -1,0 +1,53 @@
+"""Fig. 5: GPUMEM extraction time and #MEMs versus L (log-log in the paper).
+
+chr1m/chr2h with L in {20, 40, 50, 100, 150}.
+
+Expected shape: both series decrease with L; the time falls faster than the
+MEM count between L=20 and 30-50, then the MEM count falls faster (the
+paper's crossover observation in §IV-A).
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import BENCH_DIV
+from repro.bench.reporting import series_csv
+from repro.bench.workloads import FIG5_MIN_LENGTHS
+from repro.core.matcher import GpuMem
+from repro.core.params import GpuMemParams
+from repro.sequence.datasets import EXPERIMENT_CONFIGS, load_experiment
+
+CONFIG = EXPERIMENT_CONFIGS[1]  # chr1m/chr2h pair
+
+
+def _pair(div: int):
+    reference, query = load_experiment(CONFIG)
+    return reference[: reference.size // div], query[: query.size // div]
+
+
+def bench_fig5_L50(benchmark):
+    reference, query = _pair(BENCH_DIV)
+    matcher = GpuMem(GpuMemParams(min_length=50, seed_length=10))
+    benchmark(matcher.find_mems, reference, query)
+
+
+def generate_series(div: int | None = None) -> str:
+    div = BENCH_DIV if div is None else div
+    reference, query = _pair(div)
+    rows = []
+    for L in FIG5_MIN_LENGTHS:
+        matcher = GpuMem(GpuMemParams(min_length=L, seed_length=10))
+        result = matcher.find_mems(reference, query)
+        rows.append(
+            (
+                L,
+                round(matcher.stats["total_time"] - matcher.stats["index_time"], 4),
+                len(result),
+            )
+        )
+    lines = ["== Fig. 5: extraction time and #MEMs vs L (chr1m/chr2h) =="]
+    lines.append(series_csv(["L", "extract_seconds", "n_mems"], rows))
+    return "\n".join(lines) + "\n"
+
+
+if __name__ == "__main__":
+    print(generate_series())

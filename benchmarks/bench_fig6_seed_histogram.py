@@ -1,0 +1,57 @@
+"""Fig. 6: the number of seeds appearing at a given number of locations.
+
+Built from the chr1m index and the chr2h query seeds (the configuration the
+paper plots). This is the distribution that motivates the load-balancing
+heuristic: most seeds occur at one location, but a heavy tail of repeat
+seeds occurs at tens-to-hundreds — and in SIMT those serialize their warp.
+
+Expected shape: monotonically decaying histogram with a long tail (the
+paper shows >10M singleton seeds and >2M at six locations at full scale).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench.harness import BENCH_DIV, gpumem_params
+from repro.bench.reporting import series_csv
+from repro.index.kmer_index import build_kmer_index
+from repro.sequence.datasets import EXPERIMENT_CONFIGS, load_experiment
+from repro.sequence.packed import kmer_codes
+
+CONFIG = EXPERIMENT_CONFIGS[1]  # chr1m/chr2h
+
+
+def seed_location_histogram(div: int):
+    """#query seeds (y) appearing at a given #locations (x) in the index."""
+    reference, query = load_experiment(CONFIG)
+    reference = reference[: reference.size // div]
+    query = query[: query.size // div]
+    p = gpumem_params(CONFIG)
+    index = build_kmer_index(
+        reference, seed_length=p.seed_length, step=p.step,
+        region_start=0, region_end=min(p.tile_size, reference.size),
+    )
+    qk = kmer_codes(query, p.seed_length)
+    _, counts = index.lookup(qk)
+    return np.bincount(counts[counts > 0])
+
+
+def bench_fig6_histogram(benchmark):
+    hist = benchmark(seed_location_histogram, BENCH_DIV)
+    assert hist.sum() > 0
+
+
+def generate_series(div: int | None = None) -> str:
+    div = BENCH_DIV if div is None else div
+    hist = seed_location_histogram(div)
+    rows = [(x, int(hist[x])) for x in range(1, hist.size) if hist[x] > 0]
+    lines = ["== Fig. 6: #seeds appearing at a given #locations (chr1m index, chr2h seeds) =="]
+    lines.append(series_csv(["n_locations", "n_seeds"], rows))
+    tail = [x for x, _ in rows]
+    lines.append(f"  singleton seeds: {rows[0][1]}   max locations for one seed: {max(tail)}")
+    return "\n".join(lines) + "\n"
+
+
+if __name__ == "__main__":
+    print(generate_series())

@@ -1,0 +1,72 @@
+"""Fig. 7: impact of the proactive load-balancing heuristic.
+
+For each of the nine configurations, the simulated-GPU extraction time
+without load balancing and the speedup obtained with it.
+
+Two engines produce the numbers:
+
+- the **analytic perf model** (:mod:`repro.core.perf_model`) at dataset
+  scale — validated against the thread-level simulator on small inputs;
+- the **thread-level simulator** itself on a sliced input (pytest-benchmark
+  target), which actually executes Algorithms 1-3.
+
+Expected shape (paper §IV-C): speedups of ~1.6-4.4x, largest on the big
+repeat-rich mammalian configurations.
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import BENCH_DIV, gpumem_params
+from repro.bench.harness import bench_pair as _bench_pair
+from repro.bench.reporting import series_csv
+from repro.bench.workloads import PAPER_FIG7_SPEEDUP_RANGE, experiment_rows
+from repro.core.perf_model import load_balance_speedup
+from repro.core.params import GpuMemParams
+from repro.core.simulated import simulated_find_mems
+from repro.sequence.datasets import EXPERIMENT_CONFIGS
+
+
+def bench_fig7_simulated_small(benchmark):
+    config = EXPERIMENT_CONFIGS[7]  # chrXII/chrI, smallest row
+    reference, query = _bench_pair(config, div=BENCH_DIV * 4)
+    params = GpuMemParams(
+        min_length=config.min_length,
+        seed_length=config.seed_length,
+        threads_per_block=32,
+        blocks_per_tile=8,
+    )
+    benchmark(simulated_find_mems, reference, query, params)
+
+
+def generate_series(div: int | None = None) -> str:
+    rows = []
+    for config in experiment_rows():
+        reference, query = _bench_pair(config, div)
+        res = load_balance_speedup(reference, query, gpumem_params(config))
+        rows.append(
+            (
+                config.key,
+                round(res["unbalanced_seconds"], 6),
+                round(res["balanced_seconds"], 6),
+                round(res["speedup"], 2),
+                round(res["unbalanced_imbalance"], 3),
+                round(res["balanced_imbalance"], 3),
+            )
+        )
+    lines = ["== Fig. 7: load-balancing speedup (modeled GPU extraction time) =="]
+    lines.append(
+        series_csv(
+            ["config", "unbalanced_s", "balanced_s", "speedup",
+             "imbalance_off", "imbalance_on"],
+            rows,
+        )
+    )
+    lines.append(
+        f"  paper speedup range on the large configurations: "
+        f"{PAPER_FIG7_SPEEDUP_RANGE[0]}x - {PAPER_FIG7_SPEEDUP_RANGE[1]}x"
+    )
+    return "\n".join(lines) + "\n"
+
+
+if __name__ == "__main__":
+    print(generate_series())

@@ -1,0 +1,34 @@
+"""Table II: the dataset inventory (and generation cost).
+
+``generate_table()`` prints the Table II analogue — name, scaled length,
+paper length, description — for all eight sequences. The pytest-benchmark
+target times synthetic generation of the smallest chromosome, the one cost
+GPUMEM's "one-time-use reference" argument (§III-A) cares about.
+"""
+
+from __future__ import annotations
+
+from repro.sequence.datasets import DATASETS, SCALE, load_dataset
+
+
+def bench_generate_chrxii(benchmark):
+    spec = DATASETS["chrXII"]
+    result = benchmark(spec.genome.generate)
+    assert result.size == spec.length
+
+
+def generate_table() -> str:
+    lines = ["== Table II: datasets (synthetic analogues at 1:%d scale) ==" % SCALE]
+    lines.append(f"{'name':<16}{'length':>12}{'paper (Mbp)':>14}  description")
+    for spec in DATASETS.values():
+        seq = load_dataset(spec.name)
+        assert seq.size == spec.length
+        lines.append(
+            f"{spec.name:<16}{spec.length:>12,}{spec.paper_length_mbp:>14.2f}  "
+            f"{spec.description}"
+        )
+    return "\n".join(lines) + "\n"
+
+
+if __name__ == "__main__":
+    print(generate_table())

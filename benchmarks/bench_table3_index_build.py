@@ -1,0 +1,61 @@
+"""Table III: index-generation times of every tool on every configuration.
+
+Benchmark targets time each tool's index build on the fly/E. coli row;
+``generate_table()`` reproduces all nine rows × nine tool columns, printing
+the paper's published numbers under each measured row.
+
+Expected shape (paper §IV-B): GPUMEM's k-mer counting build is one to two
+orders of magnitude cheaper than suffix-array construction; GPUMEM's build
+*grows* as L shrinks (Δs shrinks → more locations) while the CPU tools are
+L-independent; slaMEM's build (BWT + FM tables) is the slowest.
+"""
+
+from __future__ import annotations
+
+from repro.baselines import EssaMemFinder, MummerFinder, SlaMemFinder, SparseMemFinder
+from repro.bench.harness import gpumem_params, run_index_experiment
+from repro.bench.reporting import format_table
+from repro.bench.workloads import PAPER_TABLE3, TOOL_COLUMNS, experiment_rows
+from repro.core.matcher import GpuMem
+
+
+def bench_index_gpumem(benchmark, small_config, small_pair):
+    reference, _ = small_pair
+    matcher = GpuMem(gpumem_params(small_config))
+    benchmark(matcher.index_only, reference)
+
+
+def bench_index_mummer(benchmark, small_pair):
+    reference, _ = small_pair
+    benchmark(lambda: MummerFinder().build_index(reference))
+
+
+def bench_index_sparsemem_t4(benchmark, small_pair):
+    reference, _ = small_pair
+    benchmark(lambda: SparseMemFinder(sparseness=4).build_index(reference))
+
+
+def bench_index_essamem_t4(benchmark, small_pair):
+    reference, _ = small_pair
+    benchmark(lambda: EssaMemFinder(sparseness=4).build_index(reference))
+
+
+def bench_index_slamem(benchmark, tiny_pair):
+    reference, _ = tiny_pair
+    benchmark(lambda: SlaMemFinder().build_index(reference))
+
+
+def generate_table(div: int | None = None) -> str:
+    rows = []
+    for config in experiment_rows():
+        rows.append((config.key, run_index_experiment(config, div)))
+    return format_table(
+        "Table III: index generation times",
+        rows,
+        TOOL_COLUMNS,
+        paper=PAPER_TABLE3,
+    )
+
+
+if __name__ == "__main__":
+    print(generate_table())

@@ -1,0 +1,38 @@
+"""Shared fixtures for the benchmark suite.
+
+The pytest-benchmark targets use the *small* experiment rows (the fly/E.
+coli and yeast pairs) so ``pytest benchmarks/ --benchmark-only`` completes
+in minutes; each ``bench_*.py`` module also has a ``generate_*`` entry
+point (and a ``__main__``) that regenerates the corresponding full paper
+table/figure — ``benchmarks/run_all.py`` drives them all and writes
+``bench_results/``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import bench_pair
+from repro.sequence.datasets import EXPERIMENT_CONFIGS
+
+
+@pytest.fixture(scope="session")
+def small_config():
+    """dmelanogaster/EcoliK12 L=20 — the paper's mid-size row."""
+    return EXPERIMENT_CONFIGS[5]
+
+
+@pytest.fixture(scope="session")
+def small_pair(small_config):
+    return bench_pair(small_config)
+
+
+@pytest.fixture(scope="session")
+def tiny_config():
+    """chrXII/chrI L=20 — the paper's smallest row."""
+    return EXPERIMENT_CONFIGS[7]
+
+
+@pytest.fixture(scope="session")
+def tiny_pair(tiny_config):
+    return bench_pair(tiny_config)

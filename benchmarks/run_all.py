@@ -1,0 +1,81 @@
+"""Regenerate every table and figure of the paper's evaluation section.
+
+Usage::
+
+    python benchmarks/run_all.py [--div N] [--out DIR]
+
+``--div`` is the extra prefix-slicing divisor on top of the library's 1:100
+dataset scale (default: the ``REPRO_BENCH_DIV`` env var or 10). Results are
+printed and written under ``bench_results/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+import bench_table2_datasets
+import bench_table3_index_build
+import bench_table4_extraction
+import bench_fig4_query_scaling
+import bench_fig5_minlen_scaling
+import bench_fig6_seed_histogram
+import bench_fig7_load_balancing
+import bench_ablation_sparsity
+import bench_ablation_tiling
+import bench_ablation_multidevice
+import bench_sa_builders
+import bench_ablation_devices
+
+TARGETS = [
+    ("table2_datasets", lambda div: bench_table2_datasets.generate_table()),
+    ("table3_index_build", bench_table3_index_build.generate_table),
+    ("table4_extraction", bench_table4_extraction.generate_table),
+    ("fig4_query_scaling", bench_fig4_query_scaling.generate_series),
+    ("fig5_minlen_scaling", bench_fig5_minlen_scaling.generate_series),
+    ("fig6_seed_histogram", bench_fig6_seed_histogram.generate_series),
+    ("fig7_load_balancing", bench_fig7_load_balancing.generate_series),
+    ("ablation_sparsity", bench_ablation_sparsity.generate_series),
+    ("ablation_tiling", bench_ablation_tiling.generate_series),
+    ("ablation_multidevice", bench_ablation_multidevice.generate_series),
+    ("sa_builders", bench_sa_builders.generate_series),
+    ("ablation_devices", bench_ablation_devices.generate_series),
+]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--div", type=int, default=None,
+                        help="extra slicing divisor (default REPRO_BENCH_DIV or 10)")
+    parser.add_argument("--out", default="bench_results")
+    parser.add_argument("--only", nargs="*", default=None,
+                        help="subset of target names to run")
+    args = parser.parse_args(argv)
+
+    out_dir = Path(args.out)
+    out_dir.mkdir(exist_ok=True)
+    from repro.bench.harness import environment_info
+
+    env = environment_info()
+    env_text = "\n".join(f"{k}: {v}" for k, v in env.items()) + "\n"
+    print(env_text)
+    (out_dir / "environment.txt").write_text(env_text)
+    for name, fn in TARGETS:
+        if args.only and name not in args.only:
+            continue
+        t0 = time.perf_counter()
+        text = fn(args.div)
+        took = time.perf_counter() - t0
+        print(text)
+        print(f"[{name} regenerated in {took:.1f}s]\n")
+        (out_dir / f"{name}.txt").write_text(text)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

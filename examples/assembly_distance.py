@@ -1,0 +1,50 @@
+"""Assembly comparison via MEM coverage distance (paper §I, citing
+Garcia et al. 2013, "a genomic distance for assembly comparison based on
+compressed maximal exact matches").
+
+Given one reference and several assemblies (here: progressively mutated
+copies), the fraction of each assembly NOT covered by MEMs against the
+reference is a genomic distance. This example computes that distance
+matrix with GPUMEM and checks it orders the assemblies by their true
+divergence.
+
+Run::
+
+    python examples/assembly_distance.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro
+from repro.core.distance import mem_coverage
+from repro.sequence.synthetic import markov_dna, mutate
+
+MIN_LENGTH = 30
+
+
+def main() -> None:
+    reference = markov_dna(200_000, seed=3)
+    divergences = [0.002, 0.01, 0.03, 0.08, 0.15]
+    assemblies = [
+        mutate(reference, rate=d, indel_rate=d / 10, seed=100 + i)
+        for i, d in enumerate(divergences)
+    ]
+
+    print(f"MEM-coverage distance to reference (L = {MIN_LENGTH}):")
+    distances = []
+    for d, asm in zip(divergences, assemblies):
+        cov = mem_coverage(reference, asm, min_length=MIN_LENGTH)
+        dist = 1.0 - cov
+        distances.append(dist)
+        bar = "#" * int(50 * dist)
+        print(f"  divergence {d:5.1%}  distance {dist:6.3f}  {bar}")
+
+    # The distance must be monotone in the true divergence.
+    assert all(a <= b + 1e-9 for a, b in zip(distances, distances[1:])), distances
+    print("distance is monotone in true divergence — matches Garcia et al.'s premise")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+"""Whole-genome comparison: MEM anchors and a dot-plot.
+
+The paper's motivating pipeline (§I): heuristic aligners extract shared
+regions as *anchors* for a full alignment. This example compares two
+synthetic chromosomes (the chrXc/chrXh pair — chimp vs human X), extracts
+MEM anchors with GPUMEM, chains the consistent ones (a classic sparse
+dynamic-programming chain on the anchor set, as in MUMmer's pipeline), and
+renders an ASCII dot-plot.
+
+Run::
+
+    python examples/genome_anchors.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro
+from repro.core.chaining import chain_anchors
+from repro.core.synteny import block_coverage, synteny_blocks
+from repro.sequence.datasets import EXPERIMENT_CONFIGS, load_experiment
+
+MIN_LENGTH = 50
+PLOT = 48  # dot-plot resolution
+
+
+def summarize_blocks(mems, n_query):
+    """Synteny-block view of the anchor set (repro.core.synteny)."""
+    blocks = synteny_blocks(mems, max_gap=2000, max_diagonal_drift=200,
+                            min_bases=500)
+    cov = block_coverage(blocks, n_query)
+    return blocks, cov
+
+
+def dot_plot(mems, n_ref: int, n_query: int) -> str:
+    grid = np.zeros((PLOT, PLOT), dtype=np.int64)
+    arr = mems.array
+    for frac in np.linspace(0.0, 1.0, 8):  # sample points along each MEM
+        r = arr["r"] + (arr["length"] * frac).astype(np.int64)
+        q = arr["q"] + (arr["length"] * frac).astype(np.int64)
+        y = np.minimum(r * PLOT // max(n_ref, 1), PLOT - 1)
+        x = np.minimum(q * PLOT // max(n_query, 1), PLOT - 1)
+        np.add.at(grid, (y, x), arr["length"])
+    shades = " .:*#@"
+    lines = []
+    nz = grid[grid > 0]
+    cut = np.quantile(nz, [0.25, 0.5, 0.75, 0.95]) if nz.size else [1, 2, 3, 4]
+    for row in grid:
+        line = "".join(
+            shades[0 if v == 0 else 1 + int(np.searchsorted(cut, v))] for v in row
+        )
+        lines.append(line)
+    return "\n".join(lines)
+
+
+def main() -> None:
+    config = EXPERIMENT_CONFIGS[3]  # chrXc/chrXh, L = 50
+    reference, query = load_experiment(config)
+    # A 300 kbp slice keeps the example instant.
+    reference, query = reference[:300_000], query[:300_000]
+
+    mems = repro.find_mems(reference, query, min_length=MIN_LENGTH)
+    total = mems.total_matched_bases()
+    print(
+        f"{config.reference} vs {config.query}: {len(mems)} anchors "
+        f"(>= {MIN_LENGTH} bp), {total:,} anchored bases "
+        f"({100 * total / query.size:.1f}% of the query)"
+    )
+
+    chain = chain_anchors(mems)
+    print(f"best collinear chain: {len(chain)} anchors, {chain.score:,} bases")
+    print("first/last chained anchors:")
+    for r, q, length in chain.anchors[:2] + chain.anchors[-2:]:
+        print(f"  R@{r:>9,}  Q@{q:>9,}  len {length}")
+
+    blocks, cov = summarize_blocks(mems, query.size)
+    print(f"\nsynteny blocks (>= 500 anchored bases): {len(blocks)}, "
+          f"covering {cov:.1%} of the query")
+    for b in blocks[:5]:
+        print(f"  Q[{b.q_start:,}:{b.q_end:,}] ~ R[{b.r_start:,}:{b.r_end:,}]  "
+              f"{b.n_anchors} anchors, density {b.density:.2f}")
+
+    print("\nMEM dot-plot (reference down, query across):")
+    print(dot_plot(mems, reference.size, query.size))
+
+
+if __name__ == "__main__":
+    main()

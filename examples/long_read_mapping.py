@@ -1,0 +1,84 @@
+"""Long-read mapping with MEM seeds (paper §I, citing Liu & Schmidt 2012).
+
+MEMs are the seeding step of long-read aligners: each read's MEMs against
+the reference vote for a mapping locus. This example simulates noisy long
+reads from a reference, maps them by GPUMEM MEM seeds + diagonal voting,
+and reports mapping accuracy — exercising the library exactly the way the
+"mapping long reads" application the paper cites does.
+
+Run::
+
+    python examples/long_read_mapping.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro
+from repro.core.mapping import ReadMapper
+from repro.sequence.synthetic import markov_dna, mutate, plant_repeats
+
+REF_LEN = 400_000
+N_READS = 60
+READ_LEN = 4_000
+ERROR_RATE = 0.06          # long-read-ish error rate
+MIN_SEED = 24              # MEM seed length for mapping
+TOLERANCE = 200            # locus tolerance for "correct" mapping
+
+
+def simulate_reads(reference: np.ndarray, rng: np.random.Generator):
+    reads, true_pos = [], []
+    for _ in range(N_READS):
+        start = int(rng.integers(0, reference.size - READ_LEN))
+        read = mutate(
+            reference[start : start + READ_LEN],
+            rate=ERROR_RATE,
+            indel_rate=ERROR_RATE / 6,
+            seed=int(rng.integers(2**31)),
+        )
+        reads.append(read)
+        true_pos.append(start)
+    return reads, true_pos
+
+
+def main() -> None:
+    rng = np.random.default_rng(42)
+    reference = plant_repeats(
+        markov_dna(REF_LEN, seed=7), seed=8,
+        n_families=4, copies_per_family=(20, 80),
+    )
+    reads, true_pos = simulate_reads(reference, rng)
+
+    mapper = ReadMapper(reference, min_seed=MIN_SEED, seed_length=10,
+                        tolerance=TOLERANCE)
+    correct = unmapped = 0
+    support = []
+    mapqs = []
+    for read, truth in zip(reads, true_pos):
+        m = mapper.map_read(read)
+        if not m.mapped:
+            unmapped += 1
+            continue
+        support.append(m.support)
+        mapqs.append(m.mapq)
+        if abs(m.locus - truth) <= TOLERANCE:
+            correct += 1
+    mapped = N_READS - unmapped
+    print(
+        f"{N_READS} reads of {READ_LEN} bp at {ERROR_RATE:.0%} error: "
+        f"{mapped} mapped, {correct} correct "
+        f"({100 * correct / max(mapped, 1):.1f}% of mapped)"
+    )
+    if support:
+        print(
+            f"seed support per read: median {int(np.median(support))} bases "
+            f"(min {min(support)}, max {max(support)}); "
+            f"median MAPQ {int(np.median(mapqs))}"
+        )
+    assert correct >= 0.9 * mapped, "mapping accuracy collapsed — seeding broken?"
+    print("MEM seeding sanity check passed")
+
+
+if __name__ == "__main__":
+    main()

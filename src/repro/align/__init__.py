@@ -1,0 +1,23 @@
+"""Anchored alignment substrate.
+
+The paper's §I frames MEM extraction as the anchor-finding step of "a full
+alignment process". This subpackage completes that pipeline at library
+quality: a vectorized global aligner for the gap regions between anchors
+(:mod:`repro.align.pairwise`) and the anchored driver that stitches exact
+anchor segments with aligned gaps into one end-to-end alignment
+(:mod:`repro.align.anchored`).
+"""
+
+from repro.align.pairwise import AlignResult, edit_distance, global_align
+from repro.align.affine import banded_align, global_align_affine
+from repro.align.anchored import AnchoredAlignment, align_from_anchors
+
+__all__ = [
+    "global_align",
+    "global_align_affine",
+    "banded_align",
+    "edit_distance",
+    "AlignResult",
+    "align_from_anchors",
+    "AnchoredAlignment",
+]

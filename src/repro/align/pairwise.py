@@ -1,0 +1,163 @@
+"""Global pairwise alignment (Needleman–Wunsch), vectorized per row.
+
+Used to align the gap regions between chained MEM anchors. Linear gap
+penalties; the DP rows are NumPy vectors, so cost is ``O(n·m)`` time with
+``O(n·m)`` bytes for traceback (gap regions between anchors are short, so
+this is the right trade-off; a guard rejects pathological calls).
+
+CIGAR conventions: ``M`` column (match *or* mismatch), ``I`` insertion
+(consumes query), ``D`` deletion (consumes reference) — the SAM meanings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+
+#: Refuse DP matrices above this many cells (callers should anchor first).
+MAX_CELLS = 64_000_000
+
+
+@dataclass(frozen=True)
+class AlignResult:
+    """Outcome of a global alignment."""
+
+    score: int
+    cigar: tuple[tuple[str, int], ...]  # ((op, run), ...)
+    n_match: int
+    n_mismatch: int
+    n_insert: int
+    n_delete: int
+
+    @property
+    def cigar_string(self) -> str:
+        return "".join(f"{run}{op}" for op, run in self.cigar)
+
+    @property
+    def identity(self) -> float:
+        cols = self.n_match + self.n_mismatch + self.n_insert + self.n_delete
+        return self.n_match / cols if cols else 1.0
+
+
+def _compress_ops(ops: list[str]) -> tuple[tuple[str, int], ...]:
+    out: list[tuple[str, int]] = []
+    for op in ops:
+        if out and out[-1][0] == op:
+            out[-1] = (op, out[-1][1] + 1)
+        else:
+            out.append((op, 1))
+    return tuple(out)
+
+
+def global_align(
+    reference: np.ndarray,
+    query: np.ndarray,
+    *,
+    match: int = 1,
+    mismatch: int = -1,
+    gap: int = -2,
+) -> AlignResult:
+    """Needleman–Wunsch with linear gaps; returns score + CIGAR.
+
+    ``reference`` consumes ``D``, ``query`` consumes ``I``.
+    """
+    a = np.ascontiguousarray(reference, dtype=np.uint8)
+    b = np.ascontiguousarray(query, dtype=np.uint8)
+    n, m = a.size, b.size
+    if (n + 1) * (m + 1) > MAX_CELLS:
+        raise InvalidParameterError(
+            f"alignment matrix {n + 1}x{m + 1} exceeds MAX_CELLS; chain "
+            f"anchors first (repro.core.chaining) and align the gaps"
+        )
+    if gap > 0:
+        raise InvalidParameterError("gap penalty must be <= 0")
+
+    # DP with uint8 traceback: 0 diag, 1 up (D, consumes reference), 2 left (I).
+    score = np.empty((n + 1, m + 1), dtype=np.int64)
+    trace = np.zeros((n + 1, m + 1), dtype=np.uint8)
+    score[0, :] = np.arange(m + 1, dtype=np.int64) * gap
+    score[:, 0] = np.arange(n + 1, dtype=np.int64) * gap
+    trace[0, 1:] = 2
+    trace[1:, 0] = 1
+    for i in range(1, n + 1):
+        sub = np.where(b == a[i - 1], match, mismatch).astype(np.int64)
+        diag = score[i - 1, :-1] + sub
+        up = score[i - 1, 1:] + gap
+        row = score[i]
+        prev = score[i, 0]
+        # `left` depends on the running row -> scalar scan for that arm, but
+        # diag/up are precomputed vectors so the inner loop is 3 compares.
+        tr = trace[i]
+        for j in range(1, m + 1):
+            best = diag[j - 1]
+            op = 0
+            if up[j - 1] > best:
+                best = up[j - 1]
+                op = 1
+            cand = prev + gap
+            if cand > best:
+                best = cand
+                op = 2
+            row[j] = best
+            tr[j] = op
+            prev = best
+
+    # traceback
+    ops: list[str] = []
+    i, j = n, m
+    n_match = n_mismatch = n_ins = n_del = 0
+    while i > 0 or j > 0:
+        t = trace[i, j]
+        if t == 0 and i > 0 and j > 0:
+            if a[i - 1] == b[j - 1]:
+                ops.append("M")
+                n_match += 1
+            else:
+                ops.append("M")
+                n_mismatch += 1
+            i -= 1
+            j -= 1
+        elif t == 1 and i > 0:
+            ops.append("D")
+            n_del += 1
+            i -= 1
+        else:
+            ops.append("I")
+            n_ins += 1
+            j -= 1
+    ops.reverse()
+    return AlignResult(
+        score=int(score[n, m]),
+        cigar=_compress_ops(ops),
+        n_match=n_match,
+        n_mismatch=n_mismatch,
+        n_insert=n_ins,
+        n_delete=n_del,
+    )
+
+
+def edit_distance(a: np.ndarray, b: np.ndarray) -> int:
+    """Levenshtein distance (two-row vectorized DP; no traceback)."""
+    a = np.ascontiguousarray(a, dtype=np.uint8)
+    b = np.ascontiguousarray(b, dtype=np.uint8)
+    if a.size < b.size:
+        a, b = b, a
+    m = b.size
+    js = np.arange(1, m + 1, dtype=np.int64)
+    prev = np.arange(m + 1, dtype=np.int64)
+    for i in range(1, a.size + 1):
+        cur = np.empty_like(prev)
+        cur[0] = i
+        sub = prev[:-1] + (b != a[i - 1])
+        dele = prev[1:] + 1
+        best = np.minimum(sub, dele)  # best[j-1]: min of diag/del arms at col j
+        # Insert arm is the recurrence cur[j] = min(best[j], cur[j-1] + 1),
+        # solved in closed form: cur[j] = min(min_{k<=j}(best[k] + j - k),
+        # cur[0] + j) — a prefix-min over (best[k] - k).
+        h = np.minimum.accumulate(best - js)
+        cur[1:] = np.minimum(h + js, i + js)
+        prev = cur
+    return int(prev[-1])

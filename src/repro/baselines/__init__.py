@@ -1,0 +1,44 @@
+"""The paper's four CPU comparator tools, implemented from scratch.
+
+=============  ==============================================  ==================
+tool           data structure                                  reference
+=============  ==============================================  ==================
+MUMmer-class   full suffix array + LCP array                   Kurtz et al. 2004
+sparseMEM      sparse suffix array (sparseness = τ)            Khan et al. 2009
+essaMEM        sparse SA + auxiliary interval structures       Vyverman et al. 2013
+slaMEM         FM-index backward search + LCP intervals        Fernandes & Freitas 2013
+=============  ==============================================  ==================
+
+All four implement :class:`~repro.baselines.base.MEMFinder` and return
+MEM sets identical to GPUMEM's (property-tested). ``τ``-thread shared-memory
+parallelism is modeled deterministically (max-of-chunks,
+:mod:`repro.baselines.threads`); sparseMEM couples its sparseness to ``τ``
+exactly as the paper describes (§IV-B last paragraph).
+"""
+
+from repro.baselines.base import BuildResult, MEMFinder, MatchResult
+from repro.baselines.mummer import MummerFinder
+from repro.baselines.sparsemem import SparseMemFinder
+from repro.baselines.essamem import EssaMemFinder
+from repro.baselines.slamem import SlaMemFinder
+from repro.baselines.threads import parallel_query_time, split_query
+
+ALL_FINDERS = {
+    "MUMmer": MummerFinder,
+    "sparseMEM": SparseMemFinder,
+    "essaMEM": EssaMemFinder,
+    "slaMEM": SlaMemFinder,
+}
+
+__all__ = [
+    "MEMFinder",
+    "BuildResult",
+    "MatchResult",
+    "MummerFinder",
+    "SparseMemFinder",
+    "EssaMemFinder",
+    "SlaMemFinder",
+    "parallel_query_time",
+    "split_query",
+    "ALL_FINDERS",
+]

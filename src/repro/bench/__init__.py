@@ -1,0 +1,43 @@
+"""Experiment harness regenerating the paper's tables and figures.
+
+:mod:`repro.bench.workloads` defines the experiment grid (the nine
+(reference, query, L) rows of Tables III/IV plus the figure sweeps);
+:mod:`repro.bench.harness` runs tools over it; :mod:`repro.bench.reporting`
+prints paper-shaped tables and dumps machine-readable series.
+
+Scaling: library datasets are 1:100 of the paper's (DESIGN.md §2). The
+benchmarks additionally slice a ``1/BENCH_DIV`` prefix of each sequence so
+the default run finishes in minutes; set ``REPRO_BENCH_DIV=1`` for the full
+1:100 run.
+"""
+
+from repro.bench.harness import (
+    BENCH_DIV,
+    bench_pair,
+    run_extraction_experiment,
+    run_index_experiment,
+)
+from repro.bench.reporting import format_table, series_csv
+from repro.bench.workloads import (
+    FIG4_FRACTIONS,
+    FIG5_MIN_LENGTHS,
+    PAPER_TABLE3,
+    PAPER_TABLE4,
+    TOOL_COLUMNS,
+    experiment_rows,
+)
+
+__all__ = [
+    "BENCH_DIV",
+    "bench_pair",
+    "run_index_experiment",
+    "run_extraction_experiment",
+    "format_table",
+    "series_csv",
+    "experiment_rows",
+    "TOOL_COLUMNS",
+    "FIG4_FRACTIONS",
+    "FIG5_MIN_LENGTHS",
+    "PAPER_TABLE3",
+    "PAPER_TABLE4",
+]

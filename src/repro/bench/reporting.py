@@ -1,0 +1,57 @@
+"""Paper-shaped ASCII tables and machine-readable series output."""
+
+from __future__ import annotations
+
+import io
+from typing import Mapping, Sequence
+
+
+def format_table(
+    title: str,
+    rows: Sequence[tuple[str, Mapping[str, float]]],
+    columns: Sequence[str],
+    *,
+    paper: Mapping[str, Mapping[str, float]] | None = None,
+    unit: str = "s",
+    precision: int = 3,
+) -> str:
+    """Render measured (and optionally paper-published) values per row.
+
+    ``rows`` is a sequence of ``(row_key, {column: value})``. When ``paper``
+    is given, each measured line is followed by the published line so the
+    shape comparison is immediate.
+    """
+    out = io.StringIO()
+    key_width = max([len(k) for k, _ in rows] + [len("configuration")]) + 2
+    col_width = max(max(len(c) for c in columns) + 2, 12)
+
+    out.write(f"== {title} ==\n")
+    out.write("configuration".ljust(key_width))
+    for c in columns:
+        out.write(c.rjust(col_width))
+    out.write("\n")
+
+    def fmt(v):
+        if v is None:
+            return "-"
+        return f"{v:.{precision}f}{unit}"
+
+    for key, values in rows:
+        out.write(key.ljust(key_width))
+        for c in columns:
+            out.write(fmt(values.get(c)).rjust(col_width))
+        out.write("\n")
+        if paper and key in paper:
+            out.write(f"  (paper {unit})".ljust(key_width))
+            for c in columns:
+                out.write(fmt(paper[key].get(c)).rjust(col_width))
+            out.write("\n")
+    return out.getvalue()
+
+
+def series_csv(header: Sequence[str], rows: Sequence[Sequence]) -> str:
+    """Simple CSV dump for figure series."""
+    lines = [",".join(header)]
+    for row in rows:
+        lines.append(",".join(str(v) for v in row))
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,78 @@
+"""Experiment grid: the paper's configurations and published numbers.
+
+``PAPER_TABLE3``/``PAPER_TABLE4`` transcribe the published Tables III/IV so
+the harness can print paper-vs-measured side by side (EXPERIMENTS.md). The
+values are seconds on the authors' testbed (Tesla K20c vs dual Xeon E5520);
+we reproduce *shape*, not absolute numbers.
+"""
+
+from __future__ import annotations
+
+from repro.sequence.datasets import EXPERIMENT_CONFIGS, ExperimentConfig
+
+#: Column order of Tables III/IV.
+TOOL_COLUMNS = [
+    "sparseMEM t=1",
+    "sparseMEM t=4",
+    "sparseMEM t=8",
+    "essaMEM t=1",
+    "essaMEM t=4",
+    "essaMEM t=8",
+    "MUMmer",
+    "slaMEM",
+    "GPUMEM",
+]
+
+
+def experiment_rows() -> list[ExperimentConfig]:
+    """The nine (reference, query, L) rows, in the paper's order."""
+    return list(EXPERIMENT_CONFIGS)
+
+
+def _row(key, *vals):
+    return {key: dict(zip(TOOL_COLUMNS, vals))}
+
+
+#: Published index-generation seconds (Table III). sparseMEM/essaMEM/MUMmer/
+#: slaMEM build once per (reference, query) pair; GPUMEM's build depends on
+#: L through Δs.
+PAPER_TABLE3: dict[str, dict[str, float]] = {}
+for k, v in [
+    ("chr1m/chr2h/L100", (73.84, 37.17, 28.51, 75.08, 41.67, 30.68, 99.58, 278.32, 1.41)),
+    ("chr1m/chr2h/L50", (73.84, 37.17, 28.51, 75.08, 41.67, 30.68, 99.58, 278.32, 2.51)),
+    ("chr1m/chr2h/L30", (73.84, 37.17, 28.51, 75.08, 41.67, 30.68, 99.58, 278.32, 5.58)),
+    ("chrXc/chrXh/L50", (48.78, 24.84, 18.37, 49.72, 27.70, 19.87, 66.42, 169.95, 1.74)),
+    ("chrXc/chrXh/L30", (48.78, 24.84, 18.37, 49.72, 27.70, 19.87, 66.42, 169.95, 3.11)),
+    ("dmelanogaster/EcoliK12/L20", (7.74, 3.66, 2.38, 8.34, 4.27, 2.69, 10.73, 39.71, 1.20)),
+    ("dmelanogaster/EcoliK12/L15", (7.74, 3.66, 2.38, 8.34, 4.27, 2.69, 10.73, 39.71, 3.19)),
+    ("chrXII/chrI/L20", (0.22, 0.09, 0.10, 0.31, 0.13, 0.13, 0.26, 1.68, 0.38)),
+    ("chrXII/chrI/L10", (0.22, 0.09, 0.10, 0.31, 0.13, 0.13, 0.26, 1.68, 0.05)),
+]:
+    PAPER_TABLE3[k] = dict(zip(TOOL_COLUMNS, v))
+
+#: Published MEM-extraction seconds (Table IV).
+PAPER_TABLE4: dict[str, dict[str, float]] = {}
+for k, v in [
+    ("chr1m/chr2h/L100", (163.75, 444.72, 502.00, 161.91, 14.49, 10.14, 159.17, 84.56, 5.38)),
+    ("chr1m/chr2h/L50", (164.42, 443.24, 499.13, 161.00, 59.29, 34.89, 161.86, 84.86, 9.24)),
+    ("chr1m/chr2h/L30", (213.32, 460.08, 507.95, 211.70, 116.12, 32.00, 312.28, 100.16, 20.19)),
+    ("chrXc/chrXh/L50", (70.19, 187.22, 223.38, 68.78, 42.99, 24.91, 78.65, 52.36, 5.86)),
+    ("chrXc/chrXh/L30", (111.79, 197.61, 232.65, 110.13, 83.13, 25.58, 163.58, 80.77, 11.22)),
+    ("dmelanogaster/EcoliK12/L20", (3.22, 7.32, 4.76, 3.21, 0.36, 0.32, 2.68, 1.54, 0.08)),
+    ("dmelanogaster/EcoliK12/L15", (3.25, 7.57, 6.46, 3.24, 0.71, 2.68, 2.75, 1.57, 0.24)),
+    ("chrXII/chrI/L20", (0.08, 0.13, 0.08, 0.08, 0.01, 0.01, 0.08, 0.06, 0.01)),
+    ("chrXII/chrI/L10", (0.13, 0.25, 2.34, 0.13, 0.08, 2.19, 0.14, 0.11, 0.02)),
+]:
+    PAPER_TABLE4[k] = dict(zip(TOOL_COLUMNS, v))
+
+#: Fig. 4: query prefixes of chr2h (fractions of the full length), ref chr1m,
+#: L = 50. Paper uses 50/100/150/200/242.97 Mbp.
+FIG4_FRACTIONS = [50 / 242.97, 100 / 242.97, 150 / 242.97, 200 / 242.97, 1.0]
+
+#: Fig. 5: L sweep on chr1m/chr2h.
+FIG5_MIN_LENGTHS = [20, 40, 50, 100, 150]
+
+#: Fig. 7: the paper reports per-configuration load-balancing speedups of
+#: 1.6-4.4x on the five large configurations, e.g. 88.87 s unbalanced for
+#: chr1m/chr2h L=30 versus 1.6x faster balanced.
+PAPER_FIG7_SPEEDUP_RANGE = (1.6, 4.4)

@@ -1,0 +1,235 @@
+"""Command-line interface: ``gpumem`` (or ``python -m repro``).
+
+Subcommands mirror how the paper's tools are driven:
+
+- ``gpumem match ref.fa query.fa -l 50``      — extract MEMs (MUMmer-style
+  ``r q length`` lines, 1-based like the classic tools).
+- ``gpumem index ref.fa -l 50``               — time/report the index build.
+- ``gpumem dataset chr1m out.fa``             — write a Table II analogue.
+- ``gpumem bench --only table3``              — regenerate evaluation assets.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def _read_single_fasta(path: str, invalid: str) -> np.ndarray:
+    from repro.sequence.fasta import read_fasta
+
+    records = read_fasta(path, invalid=invalid)
+    if len(records) > 1:
+        print(
+            f"note: {path} has {len(records)} records; concatenating",
+            file=sys.stderr,
+        )
+    return np.concatenate([r.codes for r in records])
+
+
+def _add_match_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("reference", help="reference FASTA file")
+    p.add_argument("-l", "--min-length", type=int, default=50,
+                   help="minimum MEM length L (default 50)")
+    p.add_argument("-s", "--seed-length", type=int, default=10,
+                   help="indexing seed length ℓs (default 10)")
+    p.add_argument("--step", type=int, default=None,
+                   help="indexing step Δs (default: the Eq. 1 maximum)")
+    p.add_argument("--invalid", choices=("error", "skip", "random"),
+                   default="random", help="non-ACGT letter policy")
+
+
+def cmd_match(args) -> int:
+    from repro.core.matcher import GpuMem
+    from repro.core.params import GpuMemParams
+    from repro.core.variants import find_mems_both_strands, find_rare_mems
+
+    from repro.sequence.fasta import read_fasta
+
+    reference = _read_single_fasta(args.reference, args.invalid)
+    seed_length = min(args.seed_length, args.min_length)
+    common = dict(
+        seed_length=seed_length, step=args.step, backend=args.backend
+    )
+
+    if args.per_record:
+        records = read_fasta(args.query, invalid=args.invalid)
+        from repro.core.matcher import GpuMem as _GpuMem
+        from repro.core.params import GpuMemParams as _Params
+
+        matcher = _GpuMem(_Params(min_length=args.min_length, **common))
+        total = 0
+        for rec in records:
+            print(f"> {rec.header}")
+            result = matcher.find_mems(reference, rec.codes)
+            for r, q, length in result:
+                print(f"{r + 1}\t{q + 1}\t{length}")
+            total += len(result)
+        if args.verbose:
+            print(f"# records: {len(records)}  matches: {total}", file=sys.stderr)
+        return 0
+
+    query = _read_single_fasta(args.query, args.invalid)
+
+    if args.unique or args.rare is not None:
+        max_occ = 1 if args.unique else args.rare
+        result = find_rare_mems(
+            reference, query, args.min_length,
+            max_ref_occurrences=max_occ, **common,
+        )
+        stats = result.stats
+        rows = [("+", r, q, l) for r, q, l in result]
+    elif args.both_strands:
+        stranded = find_mems_both_strands(
+            reference, query, args.min_length, **common
+        )
+        stats = stranded.forward.stats
+        rows = [("+", r, q, l) for r, q, l in stranded.forward]
+        rows += [("-", r, q, l) for r, q, l in
+                 stranded.reverse_in_forward_coords()]
+    else:
+        params = GpuMemParams(min_length=args.min_length, **common)
+        matcher = GpuMem(params)
+        result = matcher.find_mems(reference, query)
+        stats = matcher.stats
+        rows = [("+", r, q, l) for r, q, l in result]
+
+    if args.paf:
+        from repro.sequence.formats import PafRecord, write_paf
+
+        records = [
+            PafRecord(
+                query_name="query", query_len=int(query.size),
+                query_start=q, query_end=q + length, strand=strand,
+                target_name="reference", target_len=int(reference.size),
+                target_start=r, target_end=r + length,
+                n_match=length, alignment_len=length, mapq=255,
+                tags=("tp:A:P", f"cg:Z:{length}M"),
+            )
+            for strand, r, q, length in rows
+        ]
+        print(write_paf(records), end="")
+    else:
+        for strand, r, q, length in rows:
+            prefix = f"{strand}\t" if args.both_strands else ""
+            print(f"{prefix}{r + 1}\t{q + 1}\t{length}")
+    if args.verbose:
+        for key in ("index_time", "match_time", "host_merge_time", "total_time",
+                    "sim_total_seconds"):
+            if key in stats:
+                print(f"# {key}: {stats[key]:.4f}s", file=sys.stderr)
+        print(f"# matches: {len(rows)}", file=sys.stderr)
+    return 0
+
+
+def cmd_index(args) -> int:
+    import time
+
+    from repro.core.matcher import GpuMem
+    from repro.core.params import GpuMemParams
+
+    reference = _read_single_fasta(args.reference, args.invalid)
+    params = GpuMemParams(
+        min_length=args.min_length,
+        seed_length=min(args.seed_length, args.min_length),
+        step=args.step,
+    )
+    seconds = GpuMem(params).index_only(reference)
+    print(f"index build: {seconds:.4f}s  ({params.describe()})")
+    if args.save:
+        from repro.index.kmer_index import build_kmer_index
+        from repro.index.serialize import save_kmer_index
+
+        t0 = time.perf_counter()
+        index = build_kmer_index(
+            reference, seed_length=params.seed_length, step=params.step
+        )
+        save_kmer_index(index, args.save)
+        print(
+            f"saved full-reference index ({index.n_locs:,} locations) to "
+            f"{args.save} in {time.perf_counter() - t0:.3f}s"
+        )
+    return 0
+
+
+def cmd_dataset(args) -> int:
+    from repro.sequence.datasets import DATASETS, load_dataset
+    from repro.sequence.fasta import write_fasta
+
+    if args.name not in DATASETS:
+        print(f"unknown dataset {args.name!r}; known: {sorted(DATASETS)}",
+              file=sys.stderr)
+        return 2
+    codes = load_dataset(args.name)
+    spec = DATASETS[args.name]
+    write_fasta(args.output, [(f"{args.name} {spec.description}", codes)])
+    print(f"wrote {args.output}: {codes.size:,} bases")
+    return 0
+
+
+def cmd_bench(args) -> int:
+    import subprocess
+    from pathlib import Path
+
+    run_all = Path(__file__).resolve().parents[2] / "benchmarks" / "run_all.py"
+    if not run_all.exists():
+        print("benchmarks/run_all.py not found (installed without the repo?)",
+              file=sys.stderr)
+        return 2
+    cmd = [sys.executable, str(run_all)]
+    if args.only:
+        cmd += ["--only", *args.only]
+    if args.div:
+        cmd += ["--div", str(args.div)]
+    return subprocess.call(cmd)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="gpumem", description="GPUMEM reproduction: maximal exact match extraction"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("match", help="extract MEMs between reference and query")
+    _add_match_args(p)
+    p.add_argument("query", help="query FASTA file")
+    p.add_argument("--backend", choices=("vectorized", "simulated"),
+                   default="vectorized")
+    p.add_argument("--unique", action="store_true",
+                   help="report MUMs (matches unique in both sequences)")
+    p.add_argument("--rare", type=int, default=None, metavar="K",
+                   help="report rare matches (at most K occurrences per side)")
+    p.add_argument("-b", "--both-strands", action="store_true",
+                   help="also match the reverse-complement strand")
+    p.add_argument("--per-record", action="store_true",
+                   help="match each query FASTA record separately "
+                        "(MUMmer-style multi-record output)")
+    p.add_argument("--paf", action="store_true",
+                   help="emit PAF records instead of MUMmer-style triplets")
+    p.add_argument("-v", "--verbose", action="store_true")
+    p.set_defaults(fn=cmd_match)
+
+    p = sub.add_parser("index", help="build (and time) the GPUMEM index only")
+    _add_match_args(p)
+    p.add_argument("--save", metavar="PATH", default=None,
+                   help="also save the full-reference locs/ptrs index (.npz)")
+    p.set_defaults(fn=cmd_index)
+
+    p = sub.add_parser("dataset", help="write a synthetic Table II dataset as FASTA")
+    p.add_argument("name")
+    p.add_argument("output")
+    p.set_defaults(fn=cmd_dataset)
+
+    p = sub.add_parser("bench", help="regenerate evaluation tables/figures")
+    p.add_argument("--only", nargs="*", default=None)
+    p.add_argument("--div", type=int, default=None)
+    p.set_defaults(fn=cmd_bench)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

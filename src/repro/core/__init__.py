@@ -1,0 +1,48 @@
+"""GPUMEM core — the paper's contribution.
+
+Public surface:
+
+- :class:`~repro.core.params.GpuMemParams` — validated parameter set
+  (Table I symbols), including the Eq. (1) sparsity constraint.
+- :class:`~repro.core.matcher.GpuMem` — the end-to-end matcher over either
+  backend (``"vectorized"`` production path or ``"simulated"`` SIMT path).
+- :func:`~repro.core.matcher.find_mems` — one-call convenience API.
+- :func:`~repro.core.reference.brute_force_mems` — independent ground truth.
+"""
+
+from repro.core.params import GpuMemParams
+from repro.core.reference import brute_force_mems
+from repro.core.matcher import GpuMem, find_mems
+from repro.core.variants import (
+    StrandedMems,
+    find_mems_both_strands,
+    find_mums,
+    find_rare_mems,
+)
+from repro.core.chaining import Chain, chain_anchors
+from repro.core.synteny import SyntenyBlock, block_coverage, synteny_blocks
+from repro.core.multi_device import find_mems_multi_device
+from repro.core.mapping import ReadMapper, ReadMapping
+from repro.core.distance import distance_matrix, mem_coverage, mem_distance
+
+__all__ = [
+    "GpuMemParams",
+    "GpuMem",
+    "find_mems",
+    "brute_force_mems",
+    "find_mums",
+    "find_rare_mems",
+    "find_mems_both_strands",
+    "StrandedMems",
+    "Chain",
+    "chain_anchors",
+    "SyntenyBlock",
+    "synteny_blocks",
+    "block_coverage",
+    "find_mems_multi_device",
+    "ReadMapper",
+    "ReadMapping",
+    "mem_coverage",
+    "mem_distance",
+    "distance_matrix",
+]

@@ -1,0 +1,280 @@
+"""Per-block MEM extraction kernel (paper §III-B, Algorithms 2 & 3).
+
+One launch covers one tile: ``grid = n_block`` blocks of ``τ`` threads, each
+block owning the ``ℓtile × ℓblock`` strip ``[tile.r_start, tile.r_end) ×
+[b0, b1)``. A block runs ``w`` rounds; in round ``i`` thread ``t``'s
+*original* seed is the query position ``b0 + t·w + i`` (§III, Figure 1).
+
+Each round, with real barriers between stages:
+
+1. seed lookup → per-thread loads;
+2. **Algorithm 2**: cooperative Hillis–Steele scans of ``load``/``task``,
+   proportional ``assign`` fill, per-thread binary search → ``group``
+   (skipped when load balancing is off — Fig. 7's baseline);
+3. **generation** (§III-B2): the group's threads split the seed's index
+   locations in strides and right-extend each hit seed-by-seed to ``w``;
+4. **Algorithm 3**: the ``2·log2 τ − 1``-iteration tree combine over the
+   shared per-rank triplet store.
+
+(The paper's §III-B3 closing left seed-wise extension is subsumed by the
+final character expansion below and is skipped — results are identical
+because expansion is exact.)
+
+After the rounds, the block's surviving triplets are expanded character by
+character, clipped at the block box (§III-B4), and split into *in-block*
+MEMs (mismatch-delimited strictly inside, ``λ >= L`` — final) and
+*out-block* triplets (boundary-touching — forwarded to the tile stage).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.combine import combine_distances, log2_int, try_merge
+from repro.gpu.costmodel import GLOBAL_MEM_COST
+
+
+@dataclass
+class BlockTask:
+    """Host-side state shared with the kernel for one tile's launch."""
+
+    reference: np.ndarray
+    query: np.ndarray
+    ptrs: np.ndarray
+    locs: np.ndarray
+    seed_length: int
+    w: int
+    min_length: int
+    r_lo: int
+    r_hi: int
+    q_lo: int
+    q_hi: int
+    block_width: int
+    balancing: bool
+    #: per-block outputs (filled by the kernel)
+    in_block: dict[int, list[tuple[int, int, int]]] = field(default_factory=dict)
+    out_block: dict[int, list[tuple[int, int, int]]] = field(default_factory=dict)
+    #: per-block accumulated round survivors + per-round store (scratch)
+    _acc: dict[int, list[list[int]]] = field(default_factory=dict)
+    _store: dict[int, list[list[list[int]]]] = field(default_factory=dict)
+
+    @property
+    def n_blocks(self) -> int:
+        span = self.q_hi - self.q_lo
+        return max(1, -(-span // self.block_width))
+
+
+def _seed_value(codes: np.ndarray, pos: int, k: int) -> int:
+    v = 0
+    for j in range(k):
+        v = (v << 2) | int(codes[pos + j])
+    return v
+
+
+def _right_extend_seedwise(ctx, R, Q, r, q, seed_length, w):
+    """§III-B2: grow λ in ℓs jumps while full seeds match, up to λ >= w."""
+    nr, nq = R.size, Q.size
+    lam = seed_length
+    while lam < w:
+        matched = 0
+        while (
+            matched < seed_length
+            and r + lam + matched < nr
+            and q + lam + matched < nq
+            and R[r + lam + matched] == Q[q + lam + matched]
+        ):
+            matched += 1
+        # one packed-word fetch per side plus the character compares
+        ctx.work(GLOBAL_MEM_COST + min(matched + 1, seed_length))
+        if matched == seed_length:
+            lam += seed_length
+        else:
+            break
+    return lam
+
+
+def block_kernel(ctx, st: BlockTask):
+    """The per-thread program. ``yield`` = ``__syncthreads``."""
+    tau = ctx.bdim
+    k = log2_int(tau)
+    distances = combine_distances(tau)
+    R, Q = st.reference, st.query
+    ls, w = st.seed_length, st.w
+    b0 = st.q_lo + ctx.bid * st.block_width
+    b1 = min(b0 + st.block_width, st.q_hi)
+    tid = ctx.tid
+
+    load = ctx.shared.array("load", tau, np.int64)
+    task = ctx.shared.array("task", tau, np.int64)
+    assign = ctx.shared.array("assign", tau + 1, np.int64)
+    seed_q = ctx.shared.array("seed_q", tau, np.int64)
+    seed_lo = ctx.shared.array("seed_lo", tau, np.int64)
+    seed_hi = ctx.shared.array("seed_hi", tau, np.int64)
+    scratch = ctx.shared.array("scratch", tau, np.int64)
+
+    if tid == 0:
+        st._acc[ctx.bid] = []
+        st._store[ctx.bid] = [[] for _ in range(tau)]
+    yield
+
+    for rnd in range(w):
+        # ---- stage 1: original seed assignment + load --------------------
+        q = b0 + tid * w + rnd
+        valid = q < b1 and q + ls <= Q.size
+        if valid:
+            s = _seed_value(Q, q, ls)
+            # seed fetch + the two ptrs reads are global-memory traffic
+            ctx.work(ls + 2 * GLOBAL_MEM_COST)
+            lo = int(st.ptrs[s])
+            hi = int(st.ptrs[s + 1])
+            cnt = hi - lo
+        else:
+            lo = hi = cnt = 0
+        load[tid] = cnt
+        task[tid] = 1 if cnt > 0 else 0
+        yield
+
+        if st.balancing:
+            # ---- stage 2: Algorithm 2 (cooperative scans, assign, group) --
+            for arr in (load, task):  # two inclusive Hillis–Steele scans
+                d = 1
+                while d < tau:
+                    val = int(arr[tid - d]) if tid >= d else 0
+                    yield
+                    arr[tid] += val
+                    ctx.work(1)
+                    yield
+                    d *= 2
+            n_ranks = int(task[tau - 1])
+            t_load = int(load[tau - 1])
+            t_idle = tau - n_ranks
+
+            if cnt > 0:
+                j = int(task[tid]) - 1  # this thread's seed rank
+                seed_q[j] = q
+                seed_lo[j] = lo
+                seed_hi[j] = hi
+                assign[j + 1] = task[tid] + (t_idle * load[tid]) // max(t_load, 1)
+                ctx.work(2)
+            if tid == 0:
+                assign[0] = 0
+            yield
+
+            if n_ranks > 0:
+                # binary search: largest g with assign[g] <= tid
+                g_lo, g_hi = 0, n_ranks - 1
+                while g_lo < g_hi:
+                    mid = (g_lo + g_hi + 1) >> 1
+                    if assign[mid] <= tid:
+                        g_lo = mid
+                    else:
+                        g_hi = mid - 1
+                    ctx.work(1)
+                g = g_lo
+                first = int(assign[g])
+                members = int(assign[g + 1]) - first
+            else:
+                g = -1
+                first = 0
+                members = 1
+            yield
+        else:
+            # ---- Fig. 7 baseline: static assignment, no Algorithm 2 ------
+            # Each thread works its own seed alone; combine runs over raw
+            # thread indices (chains still occupy consecutive threads, so
+            # the tree schedule applies unchanged).
+            n_ranks = tau
+            seed_q[tid] = q
+            seed_lo[tid] = lo
+            seed_hi[tid] = hi
+            g = tid  # rank == thread; empty seeds simply produce nothing
+            first = tid
+            members = 1
+            yield
+
+        # ---- stage 3: generation (§III-B2) --------------------------------
+        store = st._store[ctx.bid]
+        if tid == 0:
+            for lst in store:
+                lst.clear()
+        yield
+        my_trips: list[list[int]] = []
+        if g >= 0 and members > 0:
+            gq = int(seed_q[g])
+            for idx in range(int(seed_lo[g]) + (tid - first), int(seed_hi[g]), members):
+                r = int(st.locs[idx])
+                ctx.work(2 * GLOBAL_MEM_COST)  # locs read + triplet store
+                lam = _right_extend_seedwise(ctx, R, Q, r, gq, ls, w)
+                trip = [r, gq, lam]
+                my_trips.append(trip)
+                store[g].append(trip)
+        yield
+
+        # ---- stage 4: Algorithm 3 tree combine ----------------------------
+        for it, d in enumerate(distances):
+            if g >= 0:
+                ctrl = g - (d if it >= k else 0)
+                if ctrl >= 0 and ctrl % (2 * d) == 0:
+                    trgt = g + d
+                    if trgt < n_ranks:
+                        for s_trip in my_trips:
+                            if s_trip[2] <= 0:
+                                continue
+                            for t_trip in store[trgt]:
+                                ctx.work(1)
+                                merged = try_merge(s_trip, t_trip)
+                                if merged is not None:
+                                    s_trip[0], s_trip[1], s_trip[2] = merged
+                                    t_trip[2] = 0
+            yield
+
+        # ---- collect round survivors --------------------------------------
+        acc = st._acc[ctx.bid]
+        for trip in my_trips:
+            if trip[2] > 0:
+                acc.append(trip)
+                ctx.work(1)
+        yield
+
+    # ---- final stage: §III-B4 expansion + in/out-block split --------------
+    acc = st._acc[ctx.bid]
+    in_list: list[tuple[int, int, int]] = []
+    out_list: list[tuple[int, int, int]] = []
+    nr, nq = R.size, Q.size
+    for idx in range(tid, len(acc), tau):
+        r, q, lam = acc[idx]
+        # expand left, clipped at the block box
+        while r > st.r_lo and q > b0 and R[r - 1] == Q[q - 1]:
+            r -= 1
+            q -= 1
+            lam += 1
+            ctx.work(1)
+        ctx.work(1)
+        # expand right
+        while (
+            r + lam < min(st.r_hi, nr)
+            and q + lam < min(b1, nq)
+            and R[r + lam] == Q[q + lam]
+        ):
+            lam += 1
+            ctx.work(1)
+        ctx.work(1)
+        # clip anything the seed-wise phase let stick out of the box
+        end_cap = min(st.r_hi - r, b1 - q, nr - r, nq - q)
+        touch_right = lam >= end_cap
+        lam = min(lam, end_cap)
+        touch_left = (r == st.r_lo) or (q == b0)
+        if touch_left or touch_right:
+            out_list.append((r, q, lam))
+        elif lam >= st.min_length:
+            in_list.append((r, q, lam))
+    yield
+    if tid == 0:
+        st.in_block[ctx.bid] = []
+        st.out_block[ctx.bid] = []
+    yield
+    st.in_block[ctx.bid].extend(in_list)
+    st.out_block[ctx.bid].extend(out_list)
+    yield

@@ -1,0 +1,127 @@
+"""Conflict-free parallel triplet combining (paper Algorithm 3, §III-B3).
+
+Within one block round, the seeds (query positions) being processed form a
+sequence ``s_0 … s_{S-1}`` over the non-empty seed *ranks*. Two triplets
+``(r, q, λ)`` and ``(r', q', λ')`` from different seeds *overlap* when
+
+    ``0 < (r' − r) == (q' − q) <= λ``
+
+in which case they belong to the same exact match and are replaced by
+``(r, q, (r' − r) + λ')``.
+
+The parallel schedule runs ``2·log2(τ) − 1`` iterations: the combine
+distance ``d`` doubles for the first ``k = log2(τ)`` iterations and halves
+afterwards, and a seed is *active* when ``ctrl >= 0`` and
+``ctrl mod 2d == 0`` with ``ctrl = rank`` (up-phase) or ``rank − d``
+(down-phase). Active seeds absorb the triplets of the seed ``d`` ranks to
+their right. Because active seeds are ``2d`` apart while combining at
+distance ``d``, no seed's triplets are read and written in the same
+iteration — the conflict-freedom the paper argues.
+
+This module holds the pure schedule/merge logic plus a sequential reference
+executor; the kernel in :mod:`repro.core.block_stage` walks the same
+schedule with real threads and barriers.
+"""
+
+from __future__ import annotations
+
+from repro.errors import InvalidParameterError
+
+
+def log2_int(tau: int) -> int:
+    """``log2`` of a power of two, validated."""
+    if tau < 1 or (tau & (tau - 1)) != 0:
+        raise InvalidParameterError(f"tau must be a power of two, got {tau}")
+    return tau.bit_length() - 1
+
+
+def combine_distances(tau: int) -> list[int]:
+    """The distance ``d`` used by each of the ``2k − 1`` iterations."""
+    k = log2_int(tau)
+    if k == 0:
+        return []
+    up = [1 << i for i in range(k)]
+    return up + up[-2::-1]
+
+
+def is_active(rank: int, iteration: int, tau: int) -> bool:
+    """Algorithm 3's active-seed predicate (0-based iteration)."""
+    k = log2_int(tau)
+    d = combine_distances(tau)[iteration]
+    ctrl = rank
+    if iteration >= k:  # down-phase (paper: iter > k, 1-based)
+        ctrl -= d
+    return ctrl >= 0 and ctrl % (2 * d) == 0
+
+
+def active_pairs(iteration: int, tau: int, n_ranks: int) -> list[tuple[int, int]]:
+    """All (src, trgt) rank pairs combined at this iteration."""
+    d = combine_distances(tau)[iteration]
+    pairs = []
+    for src in range(n_ranks):
+        if is_active(src, iteration, tau):
+            trgt = src + d
+            if trgt < n_ranks:
+                pairs.append((src, trgt))
+    return pairs
+
+
+def try_merge(src_trip, trgt_trip):
+    """Merged triplet if the overlap condition holds, else ``None``.
+
+    Triplets are ``[r, q, λ]`` lists (mutable — the kernel marks deletion by
+    zeroing λ, exactly as the paper notes GPUMEM does in practice).
+    """
+    r, q, lam = src_trip[0], src_trip[1], src_trip[2]
+    r2, q2, lam2 = trgt_trip[0], trgt_trip[1], trgt_trip[2]
+    if lam <= 0 or lam2 <= 0:
+        return None
+    dr = r2 - r
+    if dr > 0 and dr == q2 - q and dr <= lam:
+        return [r, q, dr + lam2]
+    return None
+
+
+def combine_reference(triplet_lists: list[list[list[int]]], tau: int) -> list[list[list[int]]]:
+    """Sequentially execute the full combine schedule (test oracle).
+
+    ``triplet_lists[rank]`` is the list of ``[r, q, λ]`` triplets of that
+    seed rank. Returns the post-combine lists (λ == 0 entries dropped).
+    """
+    lists = [[list(t) for t in lst] for lst in triplet_lists]
+    n_ranks = len(lists)
+    if tau >= 2:
+        for it in range(len(combine_distances(tau))):
+            for src, trgt in active_pairs(it, tau, n_ranks):
+                for s_trip in lists[src]:
+                    if s_trip[2] <= 0:
+                        continue
+                    for t_trip in lists[trgt]:
+                        merged = try_merge(s_trip, t_trip)
+                        if merged is not None:
+                            s_trip[0], s_trip[1], s_trip[2] = merged
+                            t_trip[2] = 0  # delete
+    return [[t for t in lst if t[2] > 0] for lst in lists]
+
+
+def chain_merge_expected(triplets: list[tuple[int, int, int]]) -> set[tuple[int, int, int]]:
+    """Ground truth for combining: transitive merge of diagonal overlaps.
+
+    Used by tests to check that the parallel schedule merges exactly the
+    connected overlap components, independent of rank layout.
+    """
+    by_diag: dict[int, list[tuple[int, int]]] = {}
+    for r, q, lam in triplets:
+        by_diag.setdefault(r - q, []).append((q, q + lam))
+    out: set[tuple[int, int, int]] = set()
+    for diag, intervals in by_diag.items():
+        intervals.sort()
+        cur_s, cur_e = intervals[0]
+        for s, e in intervals[1:]:
+            if s <= cur_e:
+                cur_e = max(cur_e, e)
+            else:
+                out.add((cur_s + diag, cur_s, cur_e - cur_s))
+                cur_s, cur_e = s, e
+        out.add((cur_s + diag, cur_s, cur_e - cur_s))
+    return out

@@ -1,0 +1,166 @@
+"""Proactive load-balancing heuristic (paper Algorithm 2, §III-B1).
+
+Within one block round, thread ``tid`` is originally responsible for one
+query seed. Seed occurrence counts are wildly skewed (Fig. 6), so a static
+assignment leaves most threads idle while a few grind through hot seeds —
+and in SIMT, a warp is as slow as its slowest thread.
+
+The heuristic redistributes the ``T_idle`` threads whose seeds are absent
+from the index onto the non-empty seeds, proportionally to each seed's
+share of the total load, using two prefix sums and a per-thread binary
+search — all data-parallel.
+
+This module is the *host-side reference implementation* (vectorized NumPy),
+used by the vectorized backend's statistics and by the tests that validate
+the cooperative-kernel version in :mod:`repro.core.block_stage`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+
+
+@dataclass(frozen=True)
+class BalancePlan:
+    """Result of Algorithm 2 for one round of ``tau`` threads.
+
+    ``assign`` has ``n_seeds + 1`` entries over the *ranks* of non-empty
+    seeds: threads ``[assign[j], assign[j+1])`` serve rank-``j``. ``group``
+    maps each thread to its rank (−1 for threads with nothing to do, which
+    only happens when every seed is empty). ``rank_to_thread`` recovers, for
+    each rank, the thread whose original seed it is.
+    """
+
+    tau: int
+    loads: np.ndarray
+    assign: np.ndarray
+    group: np.ndarray
+    rank_to_thread: np.ndarray
+
+    @property
+    def n_seeds(self) -> int:
+        return int(self.rank_to_thread.size)
+
+    @property
+    def t_idle(self) -> int:
+        return self.tau - self.n_seeds
+
+    @property
+    def t_load(self) -> int:
+        return int(self.loads.sum())
+
+    def members(self, rank: int) -> np.ndarray:
+        """Thread ids serving seed rank ``rank``."""
+        return np.nonzero(self.group == rank)[0].astype(np.int64)
+
+    def per_thread_share(self) -> np.ndarray:
+        """Work items each thread processes under this plan (strided split:
+        member ``p`` of ``m`` takes occurrences ``p, p+m, p+2m, ...``)."""
+        share = np.zeros(self.tau, dtype=np.int64)
+        active_idx = np.nonzero(self.group >= 0)[0]
+        if active_idx.size == 0:
+            return share
+        g = self.group[active_idx]  # non-decreasing in both plan kinds
+        new = np.concatenate(([True], g[1:] != g[:-1]))
+        starts = np.nonzero(new)[0]
+        counts = np.diff(np.append(starts, g.size))
+        member_count = np.repeat(counts, counts)
+        pos = np.arange(g.size) - np.repeat(starts, counts)
+        load = self.loads[self.rank_to_thread[g]]
+        share[active_idx] = np.maximum(
+            0, (load - pos + member_count - 1) // member_count
+        )
+        return share
+
+
+def balance_loads(loads: np.ndarray) -> BalancePlan:
+    """Run Algorithm 2 on per-thread seed occurrence counts.
+
+    ``loads[tid]`` is the number of index locations of the seed originally
+    assigned to thread ``tid`` (0 when the seed does not occur).
+    """
+    loads = np.asarray(loads, dtype=np.int64)
+    tau = int(loads.size)
+    if tau < 1:
+        raise InvalidParameterError("balance_loads needs at least one thread")
+    if (loads < 0).any():
+        raise InvalidParameterError("negative seed load")
+
+    task = (loads > 0).astype(np.int64)
+    load_incl = np.cumsum(loads)
+    task_incl = np.cumsum(task)
+
+    n_seeds = int(task_incl[-1])
+    t_load = int(load_incl[-1])
+    t_idle = tau - n_seeds
+
+    rank_to_thread = np.nonzero(task)[0].astype(np.int64)
+    assign = np.zeros(n_seeds + 1, dtype=np.int64)
+    if n_seeds:
+        nz = rank_to_thread
+        # assign[j+1] = task_incl[tid_j] + floor(T_idle * load_incl[tid_j] / T_load)
+        assign[1:] = task_incl[nz] + (t_idle * load_incl[nz]) // max(t_load, 1)
+
+    group = np.full(tau, -1, dtype=np.int64)
+    if n_seeds:
+        # group[tid] = j with assign[j] <= tid < assign[j+1]
+        group = np.searchsorted(assign, np.arange(tau), side="right") - 1
+        group = np.clip(group, 0, n_seeds - 1)
+    return BalancePlan(
+        tau=tau,
+        loads=loads,
+        assign=assign,
+        group=group,
+        rank_to_thread=rank_to_thread,
+    )
+
+
+def static_plan(loads: np.ndarray) -> BalancePlan:
+    """The *unbalanced* assignment (Fig. 7's baseline): one thread per seed.
+
+    Threads whose seed is empty stay idle; non-empty seed ranks are served
+    by exactly their original thread.
+    """
+    loads = np.asarray(loads, dtype=np.int64)
+    tau = int(loads.size)
+    task = (loads > 0).astype(np.int64)
+    rank_to_thread = np.nonzero(task)[0].astype(np.int64)
+    n_seeds = int(rank_to_thread.size)
+    # group: the owner thread of rank j is rank_to_thread[j]; all other
+    # threads idle. ``assign`` is synthesized to describe singleton groups
+    # (it no longer partitions [0, tau) — idle threads are outside it).
+    group = np.full(tau, -1, dtype=np.int64)
+    group[rank_to_thread] = np.arange(n_seeds)
+    assign = np.empty(n_seeds + 1, dtype=np.int64)
+    assign[:-1] = rank_to_thread
+    assign[-1] = rank_to_thread[-1] + 1 if n_seeds else 0
+    return BalancePlan(
+        tau=tau,
+        loads=loads,
+        assign=assign,
+        group=group,
+        rank_to_thread=rank_to_thread,
+    )
+
+
+def imbalance_ratio(share: np.ndarray, warp_size: int) -> float:
+    """Warp-level imbalance of a per-thread work vector.
+
+    1 − (mean work) / (mean of per-warp max) — 0 when perfectly balanced,
+    →1 when one thread per warp does everything.
+    """
+    share = np.asarray(share, dtype=np.float64)
+    if share.size == 0 or share.sum() == 0:
+        return 0.0
+    n_warp = -(-share.size // warp_size)
+    padded = np.zeros(n_warp * warp_size)
+    padded[: share.size] = share
+    warp_max = padded.reshape(n_warp, warp_size).max(axis=1)
+    denom = warp_max.mean()
+    if denom == 0:
+        return 0.0
+    return float(1.0 - share.mean() / denom)

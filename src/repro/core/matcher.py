@@ -1,0 +1,177 @@
+"""The GPUMEM driver: end-to-end MEM extraction.
+
+:class:`GpuMem` glues the pipeline together exactly as Figure 1 of the
+paper: tile rows are processed bottom-up; each row builds a partial seed
+index of its reference range; all tiles of the row are matched against that
+index; in-tile MEMs are reported immediately and boundary-touching
+fragments accumulate into a global out-tile list merged on the host at the
+end.
+
+Two backends:
+
+- ``"vectorized"`` — whole-array NumPy implementation of each stage
+  (production path, used by the wall-clock benchmarks);
+- ``"simulated"``  — Algorithms 1–3 run as per-thread kernels on the SIMT
+  simulator of :mod:`repro.gpu` (used to validate the published pseudocode
+  and to drive the load-balancing/divergence experiments, Fig. 7).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core.host_merge import host_merge
+from repro.core.params import GpuMemParams
+from repro.core.tiling import TilePlan
+from repro.core.vectorized import stage_tile
+from repro.index.kmer_index import build_kmer_index
+from repro.sequence.alphabet import encode
+from repro.sequence.packed import PackedSequence, kmer_codes
+from repro.types import MatchSet, concat_triplets
+
+
+def _as_codes(seq) -> np.ndarray:
+    if isinstance(seq, PackedSequence):
+        return seq.codes()
+    return encode(seq)
+
+
+class GpuMem:
+    """GPUMEM matcher.
+
+    Parameters may be given as a ready :class:`GpuMemParams` or as keyword
+    arguments forwarded to it::
+
+        GpuMem(min_length=50)                     # paper defaults
+        GpuMem(GpuMemParams(min_length=50, seed_length=10))
+        GpuMem(min_length=50, backend="simulated", load_balancing=False)
+    """
+
+    def __init__(self, params: GpuMemParams | None = None, /, **kwargs):
+        if params is None:
+            params = GpuMemParams(**kwargs)
+        elif kwargs:
+            params = params.with_(**kwargs)
+        self.params = params
+        #: Populated by :meth:`find_mems`: per-phase timings and counters.
+        self.stats: dict = {}
+
+    # -- public API -----------------------------------------------------------
+    def find_mems(self, reference, query) -> MatchSet:
+        """All maximal exact matches of length ≥ ``params.min_length``."""
+        reference = _as_codes(reference)
+        query = _as_codes(query)
+        if self.params.backend == "simulated":
+            from repro.core.simulated import simulated_find_mems
+
+            mems, stats = simulated_find_mems(reference, query, self.params)
+            self.stats = stats
+            return MatchSet(mems, stats=stats)
+        return self._find_mems_vectorized(reference, query)
+
+    # -- vectorized backend -----------------------------------------------------
+    def _find_mems_vectorized(self, reference: np.ndarray, query: np.ndarray) -> MatchSet:
+        p = self.params
+        plan = TilePlan(
+            n_reference=reference.size,
+            n_query=query.size,
+            tile_size=p.tile_size,
+        )
+        t0 = time.perf_counter()
+        query_kmers = (
+            kmer_codes(query, p.seed_length)
+            if query.size >= p.seed_length
+            else np.empty(0, dtype=np.int64)
+        )
+        prep_time = time.perf_counter() - t0
+
+        index_time = 0.0
+        match_time = 0.0
+        in_tile_parts: list[np.ndarray] = []
+        out_tile_parts: list[np.ndarray] = []
+        n_candidates = 0
+        max_index_bytes = 0
+        max_index_locs = 0
+
+        for row in range(plan.n_rows):
+            r0, r1 = plan.row_range(row)
+            t0 = time.perf_counter()
+            index = build_kmer_index(
+                reference,
+                seed_length=p.seed_length,
+                step=p.step,
+                region_start=r0,
+                region_end=r1,
+            )
+            index_time += time.perf_counter() - t0
+            max_index_bytes = max(max_index_bytes, index.nbytes_packed)
+            max_index_locs = max(max_index_locs, index.n_locs)
+
+            t0 = time.perf_counter()
+            for tile in plan.tiles_in_row(row):
+                result = stage_tile(
+                    reference, query, query_kmers, tile, index, p.min_length
+                )
+                n_candidates += result.n_candidates
+                if result.in_tile.size:
+                    in_tile_parts.append(result.in_tile)
+                if result.out_tile.size:
+                    out_tile_parts.append(result.out_tile)
+            match_time += time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        out_tile = concat_triplets(out_tile_parts)
+        crossing = host_merge(reference, query, out_tile, p.min_length)
+        mems = concat_triplets(in_tile_parts + [crossing])
+        host_time = time.perf_counter() - t0
+
+        self.stats = {
+            "backend": "vectorized",
+            "n_rows": plan.n_rows,
+            "n_cols": plan.n_cols,
+            "n_tiles": plan.n_tiles,
+            "n_candidates": n_candidates,
+            "n_in_tile": int(sum(part.size for part in in_tile_parts)),
+            "n_out_tile_fragments": int(out_tile.size),
+            "n_crossing_mems": int(crossing.size),
+            "prep_time": prep_time,
+            "index_time": index_time,
+            "match_time": match_time,
+            "host_merge_time": host_time,
+            "total_time": prep_time + index_time + match_time + host_time,
+            "max_index_bytes": max_index_bytes,
+            "max_index_locs": max_index_locs,
+            "params": p.describe(),
+        }
+        return MatchSet(mems, stats=self.stats)
+
+    # -- convenience ------------------------------------------------------------
+    def index_only(self, reference) -> float:
+        """Build all per-row indexes and return the build time in seconds.
+
+        This is the quantity the paper's Table III reports for GPUMEM: index
+        construction alone, without matching.
+        """
+        reference = _as_codes(reference)
+        p = self.params
+        plan = TilePlan(
+            n_reference=reference.size, n_query=p.tile_size, tile_size=p.tile_size
+        )
+        t0 = time.perf_counter()
+        for row in range(plan.n_rows):
+            r0, r1 = plan.row_range(row)
+            build_kmer_index(
+                reference,
+                seed_length=p.seed_length,
+                step=p.step,
+                region_start=r0,
+                region_end=r1,
+            )
+        return time.perf_counter() - t0
+
+
+def find_mems(reference, query, min_length: int, **kwargs) -> MatchSet:
+    """One-call convenience wrapper around :class:`GpuMem`."""
+    return GpuMem(min_length=min_length, **kwargs).find_mems(reference, query)

@@ -1,0 +1,124 @@
+"""GPUMEM parameter set (the symbols of the paper's Table I).
+
+``GpuMemParams`` gathers and validates every tunable of the pipeline:
+
+===============  ======  =====================================================
+field            paper   meaning
+===============  ======  =====================================================
+min_length       L       minimum reported MEM length
+seed_length      ℓs      indexing seed length
+step             Δs      indexing step (sparsification); default is the
+                         paper's choice, the Eq. (1) maximum ``L - ℓs + 1``
+threads_per_block τ      GPU threads per block (power of two — Algorithm 3's
+                         combine tree needs ``k = log2 τ``)
+work_per_thread  w       query locations per thread; the paper proves
+                         ``w = Δs`` extracts every MEM exactly once, and that
+                         is the default (and the only safe choice, enforced)
+blocks_per_tile  n_block  blocks per tile (tile is split into vertical
+                         ``ℓtile × ℓblock`` strips)
+===============  ======  =====================================================
+
+Derived: ``block_width ℓblock = τ · w`` and ``tile_size ℓtile = n_block · ℓblock``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.errors import InvalidParameterError
+from repro.index.kmer_index import max_step, validate_sparsity
+
+#: Hard cap on ℓs: the ptrs table has 4^ℓs entries.
+MAX_SEED_LENGTH = 13
+
+#: Supported backends of :class:`repro.core.matcher.GpuMem`.
+BACKENDS = ("vectorized", "simulated")
+
+
+@dataclass(frozen=True)
+class GpuMemParams:
+    """Validated GPUMEM parameter set. Instances are immutable."""
+
+    min_length: int
+    seed_length: int = 10
+    step: int | None = None
+    threads_per_block: int = 128
+    blocks_per_tile: int = 64
+    work_per_thread: int | None = None
+    load_balancing: bool = True
+    backend: str = "vectorized"
+
+    def __post_init__(self):
+        if self.min_length < 1:
+            raise InvalidParameterError(
+                f"min_length must be >= 1, got {self.min_length}"
+            )
+        if not 1 <= self.seed_length <= MAX_SEED_LENGTH:
+            raise InvalidParameterError(
+                f"seed_length must be in [1, {MAX_SEED_LENGTH}], got {self.seed_length}"
+            )
+        if self.seed_length > self.min_length:
+            raise InvalidParameterError(
+                f"seed_length ({self.seed_length}) must not exceed min_length "
+                f"({self.min_length}); the paper drops ℓs to match small L"
+            )
+        if self.step is None:
+            object.__setattr__(
+                self, "step", max_step(self.seed_length, self.min_length)
+            )
+        validate_sparsity(self.seed_length, self.step, self.min_length)
+        tau = self.threads_per_block
+        if tau < 2 or (tau & (tau - 1)) != 0:
+            raise InvalidParameterError(
+                f"threads_per_block must be a power of two >= 2, got {tau}"
+            )
+        if self.blocks_per_tile < 1:
+            raise InvalidParameterError(
+                f"blocks_per_tile must be >= 1, got {self.blocks_per_tile}"
+            )
+        if self.work_per_thread is None:
+            object.__setattr__(self, "work_per_thread", self.step)
+        if self.work_per_thread != self.step:
+            # §III-B2: "To extract all the valid MEMs and not to extract a MEM
+            # more than once, GPUMEM uses w = Δs."
+            raise InvalidParameterError(
+                f"work_per_thread (w={self.work_per_thread}) must equal step "
+                f"(Δs={self.step}); any other value loses or duplicates MEMs"
+            )
+        if self.backend not in BACKENDS:
+            raise InvalidParameterError(
+                f"unknown backend {self.backend!r}; choose from {BACKENDS}"
+            )
+
+    # -- derived sizes (Table I) --------------------------------------------------
+    @property
+    def block_width(self) -> int:
+        """ℓblock = τ · w: query positions covered by one GPU block."""
+        return self.threads_per_block * self.work_per_thread
+
+    @property
+    def tile_size(self) -> int:
+        """ℓtile = n_block · ℓblock: side of a square tile."""
+        return self.blocks_per_tile * self.block_width
+
+    @property
+    def n_seed_values(self) -> int:
+        """Entries of the ptrs array: ``4^ℓs``."""
+        return 4**self.seed_length
+
+    def locs_per_row(self) -> int:
+        """Paper §III-A: ``n_locs = ⌈ℓtile / Δs⌉`` locations per tile row."""
+        return -(-self.tile_size // self.step)
+
+    def with_(self, **changes) -> "GpuMemParams":
+        """A modified copy (dataclasses.replace with re-validation)."""
+        return replace(self, **changes)
+
+    def describe(self) -> str:
+        """Human-readable one-line summary."""
+        return (
+            f"L={self.min_length} ℓs={self.seed_length} Δs={self.step} "
+            f"τ={self.threads_per_block} w={self.work_per_thread} "
+            f"ℓblock={self.block_width} n_block={self.blocks_per_tile} "
+            f"ℓtile={self.tile_size} balance={'on' if self.load_balancing else 'off'}"
+        )

@@ -1,0 +1,174 @@
+"""Analytic GPU-time model for the load-balancing experiment (Fig. 7).
+
+The thread-level simulator (:mod:`repro.core.simulated`) runs one Python
+generator per simulated thread and tops out around 10^5 bases. The paper's
+Fig. 7, however, is about *distributions*: how per-seed occurrence skew
+turns into warp serialization. Given per-query-position hit counts — which
+the vectorized pipeline computes exactly, at any scale — the simulated
+extraction time is reproducible analytically:
+
+- round ``i`` of a block gives thread ``t`` the query seed ``b0 + t·w + i``
+  with ``load = |index locations|``;
+- *unbalanced*: thread work = own load × per-occurrence cost; threads with
+  empty seeds idle (this is Fig. 7's baseline);
+- *balanced*: Algorithm 2's plan (:func:`~repro.core.load_balance.balance_loads`)
+  redistributes the idle threads; thread work = its strided share;
+- a warp costs the max of its threads plus a fixed per-round overhead
+  (seed fetch; plus the Algorithm 2 scans when balancing is on);
+- blocks are scheduled over SMs by the same
+  :class:`~repro.gpu.costmodel.CostModel` the simulator uses.
+
+The model's speedup ratios are validated against the true simulator on
+small skewed inputs (see ``tests/core/test_perf_model.py``); the Fig. 7
+bench then runs it at full dataset scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.load_balance import balance_loads
+from repro.core.params import GpuMemParams
+from repro.core.tiling import TilePlan
+from repro.gpu.costmodel import CostModel
+from repro.gpu.device import TESLA_K20C, DeviceSpec
+from repro.index.kmer_index import build_kmer_index
+from repro.sequence.packed import kmer_codes
+
+
+@dataclass
+class ModelResult:
+    """Modeled extraction cost for one configuration."""
+
+    cycles: float
+    seconds: float
+    total_work: float
+    warp_max_work: float
+
+    @property
+    def imbalance(self) -> float:
+        if self.warp_max_work <= 0:
+            return 0.0
+        return 1.0 - self.total_work / self.warp_max_work
+
+
+def _per_occurrence_cost(params: GpuMemParams) -> float:
+    """Modeled work units to generate + extend one seed hit.
+
+    Mirrors the kernel's charges (:mod:`repro.core.block_stage`): a ``locs``
+    read and a triplet store (2 global transactions), plus one right-
+    extension chunk — a global fetch per side and a handful of character
+    compares. Hits that extend all the way to ``w`` cost more in the kernel;
+    the constant captures the common quick-mismatch case.
+    """
+    from repro.gpu.costmodel import GLOBAL_MEM_COST
+
+    return 3.0 * GLOBAL_MEM_COST + 4.0
+
+
+def model_extraction(
+    reference: np.ndarray,
+    query: np.ndarray,
+    params: GpuMemParams,
+    *,
+    balanced: bool,
+    spec: DeviceSpec = TESLA_K20C,
+) -> ModelResult:
+    """Modeled extraction time of one full run (all tile rows)."""
+    reference = np.ascontiguousarray(reference, dtype=np.uint8)
+    query = np.ascontiguousarray(query, dtype=np.uint8)
+    p = params
+    tau = p.threads_per_block
+    w = p.work_per_thread
+    warp = spec.warp_size
+    c_occ = _per_occurrence_cost(p)
+    # Fixed per-round per-thread overhead, mirroring the kernel's charges:
+    # seed fetch + two ptrs reads (global) for everyone, plus — balanced
+    # only — Algorithm 2's two Hillis-Steele scans (k ops each), the assign
+    # fill and the binary search (shared-memory ops, weight 1).
+    from repro.gpu.costmodel import GLOBAL_MEM_COST
+
+    k = int(np.log2(tau))
+    fixed = p.seed_length + 2.0 * GLOBAL_MEM_COST
+    fixed += (2.0 * k + k + 2.0) if balanced else 1.0
+
+    plan = TilePlan(
+        n_reference=reference.size, n_query=query.size, tile_size=p.tile_size
+    )
+    qk = (
+        kmer_codes(query, p.seed_length)
+        if query.size >= p.seed_length
+        else np.empty(0, dtype=np.int64)
+    )
+    nq_seeds = qk.size
+
+    cost_model = CostModel(spec)
+    block_cycles: list[float] = []
+    total_work = 0.0
+    warp_max_work = 0.0
+
+    for row in range(plan.n_rows):
+        r0, r1 = plan.row_range(row)
+        index = build_kmer_index(
+            reference, seed_length=p.seed_length, step=p.step,
+            region_start=r0, region_end=r1,
+        )
+        counts = np.zeros(query.size, dtype=np.int64)
+        if nq_seeds:
+            _, c = index.lookup(qk)
+            counts[:nq_seeds] = c
+
+        for tile in plan.tiles_in_row(row):
+            q0, q1 = tile.q_start, tile.q_end
+            span = q1 - q0
+            n_blocks = max(1, -(-span // p.block_width))
+            padded = np.zeros(n_blocks * tau * w, dtype=np.int64)
+            padded[:span] = counts[q0:q1]
+            # loads[block, thread, round]
+            loads = padded.reshape(n_blocks, tau, w)
+            for b in range(n_blocks):
+                bcycles = 0.0
+                for rnd in range(w):
+                    l = loads[b, :, rnd]
+                    if balanced and l.any():
+                        share = balance_loads(l).per_thread_share()
+                    else:
+                        share = l
+                    work = share * c_occ + fixed
+                    total_work += float(work.sum())
+                    wm = work.reshape(-1, warp).max(axis=1) if tau % warp == 0 else (
+                        np.array([work[i : i + warp].max() for i in range(0, tau, warp)])
+                    )
+                    contrib = float(wm.sum()) * warp
+                    warp_max_work += contrib
+                    bcycles += float(wm.sum())
+                block_cycles.append(bcycles / spec.warps_in_flight_per_sm)
+
+    cycles = cost_model.schedule_blocks(block_cycles)
+    return ModelResult(
+        cycles=cycles,
+        seconds=spec.seconds_from_cycles(cycles),
+        total_work=total_work,
+        warp_max_work=warp_max_work,
+    )
+
+
+def load_balance_speedup(
+    reference: np.ndarray,
+    query: np.ndarray,
+    params: GpuMemParams,
+    *,
+    spec: DeviceSpec = TESLA_K20C,
+) -> dict:
+    """Fig. 7's quantity: unbalanced/balanced modeled extraction times."""
+    on = model_extraction(reference, query, params, balanced=True, spec=spec)
+    off = model_extraction(reference, query, params, balanced=False, spec=spec)
+    return {
+        "balanced_seconds": on.seconds,
+        "unbalanced_seconds": off.seconds,
+        "speedup": off.seconds / on.seconds if on.seconds > 0 else 1.0,
+        "balanced_imbalance": on.imbalance,
+        "unbalanced_imbalance": off.imbalance,
+    }

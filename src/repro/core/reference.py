@@ -1,0 +1,54 @@
+"""Brute-force reference MEM finder — the test suite's ground truth.
+
+Deliberately implemented with a *different* algorithm from everything else
+in the library: a per-diagonal run-length scan of the full ``|R| × |Q|``
+match matrix. It shares no code with the GPUMEM pipeline or the baselines,
+so agreement between them is meaningful evidence of correctness.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+from repro.types import concat_triplets, make_triplets, unique_mems
+
+
+def brute_force_mems(
+    reference: np.ndarray,
+    query: np.ndarray,
+    min_length: int,
+) -> np.ndarray:
+    """All MEM triplets ``(r, q, λ)`` with ``λ >= min_length``.
+
+    Definition (paper §II): ``R[r+i] == Q[q+i]`` for ``i < λ``, and the
+    match cannot be extended: ``r == 0 or q == 0 or R[r-1] != Q[q-1]`` on
+    the left, ``r+λ == |R| or q+λ == |Q| or R[r+λ] != Q[q+λ]`` on the right.
+
+    Cost is ``Θ(|R| · |Q|)`` (vectorized per diagonal) — use on test-sized
+    inputs only.
+    """
+    reference = np.ascontiguousarray(reference, dtype=np.uint8)
+    query = np.ascontiguousarray(query, dtype=np.uint8)
+    if min_length < 1:
+        raise InvalidParameterError(f"min_length must be >= 1, got {min_length}")
+    nr, nq = reference.size, query.size
+    parts = []
+    for d in range(-(nq - 1), nr):  # diagonal: r - q == d
+        r0 = max(d, 0)
+        q0 = r0 - d
+        span = min(nr - r0, nq - q0)
+        if span < min_length:
+            continue
+        eq = reference[r0 : r0 + span] == query[q0 : q0 + span]
+        # run starts: eq[i] and not eq[i-1]; run ends: eq[i] and not eq[i+1]
+        padded = np.concatenate(([False], eq, [False]))
+        starts = np.nonzero(padded[1:-1] & ~padded[:-2])[0]
+        ends = np.nonzero(padded[1:-1] & ~padded[2:])[0]
+        lengths = ends - starts + 1
+        keep = lengths >= min_length
+        if keep.any():
+            parts.append(
+                make_triplets(r0 + starts[keep], q0 + starts[keep], lengths[keep])
+            )
+    return unique_mems(concat_triplets(parts))

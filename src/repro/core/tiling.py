@@ -1,0 +1,100 @@
+"""2-D search-space tiling (paper §III, Figure 1).
+
+The ``|R| × |Q|`` space (reference on the y-axis, query on the x-axis) is cut
+into ``ℓtile × ℓtile`` square tiles. Tiles are processed row by row: a tile
+row shares one partial seed index built from its reference range, so only
+``⌈ℓtile / Δs⌉`` index locations are resident at a time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import InvalidParameterError
+
+
+@dataclass(frozen=True)
+class Tile:
+    """One tile: half-open reference and query ranges plus grid coordinates."""
+
+    row: int
+    col: int
+    r_start: int
+    r_end: int
+    q_start: int
+    q_end: int
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self.r_end - self.r_start, self.q_end - self.q_start)
+
+    def contains(self, r: int, q: int) -> bool:
+        return self.r_start <= r < self.r_end and self.q_start <= q < self.q_end
+
+
+@dataclass(frozen=True)
+class TilePlan:
+    """The tile grid for one (reference, query) problem.
+
+    ``n_rows`` × ``n_cols`` corresponds to the paper's ``n_r × n_c``. Border
+    tiles are smaller when the sequence lengths are not multiples of
+    ``tile_size`` (the paper pads; clipping is equivalent and avoids
+    phantom coordinates).
+    """
+
+    n_reference: int
+    n_query: int
+    tile_size: int
+
+    def __post_init__(self):
+        if self.tile_size < 1:
+            raise InvalidParameterError(f"tile_size must be >= 1, got {self.tile_size}")
+        if self.n_reference < 0 or self.n_query < 0:
+            raise InvalidParameterError("sequence lengths must be non-negative")
+
+    @property
+    def n_rows(self) -> int:
+        return -(-self.n_reference // self.tile_size) if self.n_reference else 0
+
+    @property
+    def n_cols(self) -> int:
+        return -(-self.n_query // self.tile_size) if self.n_query else 0
+
+    @property
+    def n_tiles(self) -> int:
+        return self.n_rows * self.n_cols
+
+    def row_range(self, row: int) -> tuple[int, int]:
+        """Reference range ``[r0, r1)`` of tile row ``row``."""
+        if not 0 <= row < self.n_rows:
+            raise InvalidParameterError(f"tile row {row} out of range")
+        r0 = row * self.tile_size
+        return r0, min(r0 + self.tile_size, self.n_reference)
+
+    def col_range(self, col: int) -> tuple[int, int]:
+        """Query range ``[q0, q1)`` of tile column ``col``."""
+        if not 0 <= col < self.n_cols:
+            raise InvalidParameterError(f"tile column {col} out of range")
+        q0 = col * self.tile_size
+        return q0, min(q0 + self.tile_size, self.n_query)
+
+    def tile(self, row: int, col: int) -> Tile:
+        r0, r1 = self.row_range(row)
+        q0, q1 = self.col_range(col)
+        return Tile(row=row, col=col, r_start=r0, r_end=r1, q_start=q0, q_end=q1)
+
+    def tiles_in_row(self, row: int) -> Iterator[Tile]:
+        """Tiles of one row, left to right — the paper's processing order."""
+        for col in range(self.n_cols):
+            yield self.tile(row, col)
+
+    def __iter__(self) -> Iterator[Tile]:
+        for row in range(self.n_rows):
+            yield from self.tiles_in_row(row)
+
+    def tile_of_point(self, r: int, q: int) -> Tile:
+        """The unique tile containing 2-D point ``(r, q)``."""
+        if not (0 <= r < self.n_reference and 0 <= q < self.n_query):
+            raise InvalidParameterError(f"point ({r}, {q}) outside the search space")
+        return self.tile(r // self.tile_size, q // self.tile_size)

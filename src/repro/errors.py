@@ -1,0 +1,38 @@
+"""Exception hierarchy for the GPUMEM reproduction.
+
+All library errors derive from :class:`GpuMemError` so callers can catch a
+single base class. Substrate-specific errors (GPU simulator, sequence
+handling) subclass it with more precise semantics.
+"""
+
+from __future__ import annotations
+
+
+class GpuMemError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class InvalidSequenceError(GpuMemError, ValueError):
+    """A sequence contains letters outside the DNA alphabet, or is malformed."""
+
+
+class InvalidParameterError(GpuMemError, ValueError):
+    """A parameter combination violates a documented constraint.
+
+    The most important instance is Eq. (1) of the paper:
+    ``step_size <= min_length - seed_length + 1``. Violating it would allow
+    maximal exact matches of length ``>= min_length`` to contain no indexed
+    seed and therefore be silently missed.
+    """
+
+
+class MemoryBudgetError(GpuMemError, MemoryError):
+    """A simulated device allocation exceeded the device's global memory."""
+
+
+class KernelError(GpuMemError, RuntimeError):
+    """A simulated GPU kernel misbehaved (barrier divergence, bad launch...)."""
+
+
+class IndexError_(GpuMemError, RuntimeError):
+    """An index structure is inconsistent (used by self-check utilities)."""

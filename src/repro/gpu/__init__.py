@@ -1,0 +1,45 @@
+"""Functional SIMT GPU simulator.
+
+The paper runs on an NVIDIA Tesla K20c. This package substitutes a
+*functional simulator with an analytic warp-level cost model*
+(DESIGN.md §2): kernels are Python generator functions executed one thread
+at a time, with
+
+- real ``__syncthreads`` barriers (generator ``yield`` points, checked for
+  barrier divergence),
+- real shared/global memory objects with device-budget accounting,
+- atomics executed under a deterministically *shuffled* thread schedule (so
+  order-sensitive code — like Algorithm 1's ``locs`` fill — is genuinely
+  exercised),
+- per-thread work counters aggregated warp-by-warp, from which the cost
+  model derives simulated cycles (a warp's time is the max over its
+  threads — the SIMT serialization that makes load imbalance expensive).
+
+This reproduces the *phenomena* the paper measures (divergence, load
+imbalance, occupancy) without claiming cycle accuracy.
+"""
+
+from repro.gpu.device import TESLA_K20C, TEST_DEVICE, DeviceSpec
+from repro.gpu.memory import GlobalMemory, SharedMemory
+from repro.gpu.kernel import Device, KernelReport, ThreadCtx
+from repro.gpu.primitives import exclusive_prefix_sum_kernel, gpu_prefix_sum, gpu_segment_sort
+from repro.gpu.costmodel import CostModel, GLOBAL_MEM_COST
+from repro.gpu.profiler import DeviceProfile, profile_device
+
+__all__ = [
+    "DeviceSpec",
+    "TESLA_K20C",
+    "TEST_DEVICE",
+    "GlobalMemory",
+    "SharedMemory",
+    "Device",
+    "ThreadCtx",
+    "KernelReport",
+    "gpu_prefix_sum",
+    "gpu_segment_sort",
+    "exclusive_prefix_sum_kernel",
+    "CostModel",
+    "GLOBAL_MEM_COST",
+    "DeviceProfile",
+    "profile_device",
+]

@@ -1,0 +1,57 @@
+"""Analytic timing of simulated kernels.
+
+The model (DESIGN.md §2):
+
+- A warp's time in a barrier phase is the **max** of its threads' work
+  (SIMT lockstep — divergence and load imbalance serialize the warp).
+- A block's time is the sum over phases of its warps' times, divided by the
+  number of warps the SM can keep in flight (``cores_per_sm / warp_size``) —
+  the simulator's stand-in for latency hiding.
+- Blocks are list-scheduled (longest-processing-time greedy) over the SMs;
+  device time is the busiest SM.
+
+This is the simplest model in which the paper's Fig. 7 phenomenon —
+pre-balancing makes heavy seeds serialize warps — shows up quantitatively.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from repro.gpu.device import DeviceSpec
+
+#: Modeled cost (work units) of one global-memory transaction relative to a
+#: register/shared-memory operation (~1 unit). DRAM latency on Kepler-class
+#: parts is a few hundred cycles against ~1-10 for shared memory; with
+#: partial latency hiding a 20-30x effective ratio is the standard rule of
+#: thumb. Kernels charge this for index/sequence reads so that the warp-max
+#: cost model weighs a seed occurrence (several global reads) far above a
+#: scan step (shared memory) — without this, Algorithm 2's overhead would
+#: look comparable to the work it balances, which no GPU measurement
+#: supports.
+GLOBAL_MEM_COST = 24
+
+
+class CostModel:
+    """Turns a :class:`~repro.gpu.kernel.KernelReport` into simulated time."""
+
+    def __init__(self, spec: DeviceSpec):
+        self.spec = spec
+
+    def time_kernel(self, report) -> None:
+        """Fill ``report.sim_cycles`` / ``report.sim_seconds`` in place."""
+        flights = self.spec.warps_in_flight_per_sm
+        per_block = [c / flights for c in report.block_cycles]
+        report.sim_cycles = self.schedule_blocks(per_block)
+        report.sim_seconds = self.spec.seconds_from_cycles(report.sim_cycles)
+
+    def schedule_blocks(self, block_cycles: list[float]) -> float:
+        """LPT list scheduling of block costs onto SMs → makespan."""
+        if not block_cycles:
+            return 0.0
+        sms = [0.0] * self.spec.sm_count
+        heapq.heapify(sms)
+        for c in sorted(block_cycles, reverse=True):
+            lightest = heapq.heappop(sms)
+            heapq.heappush(sms, lightest + c)
+        return max(sms)

@@ -1,0 +1,95 @@
+"""Device specifications.
+
+:data:`TESLA_K20C` mirrors the card in the paper's §IV: 13 streaming
+multiprocessors with 192 CUDA cores each (2496 cores total) at 700 MHz, and
+4.8 GB of global memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import InvalidParameterError
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Static properties of a simulated GPU."""
+
+    name: str
+    sm_count: int
+    cores_per_sm: int
+    warp_size: int
+    clock_hz: float
+    global_mem_bytes: int
+    shared_mem_per_block: int = 48 * 1024
+    max_threads_per_block: int = 1024
+    #: Effective device-to-host copy bandwidth (PCIe gen2 x16 ≈ 6 GB/s for
+    #: the K20c era; the simulated pipeline charges result transfers at it).
+    pcie_bytes_per_second: float = 6e9
+
+    def __post_init__(self):
+        if self.sm_count < 1 or self.cores_per_sm < 1:
+            raise InvalidParameterError("device must have at least one SM and core")
+        if self.warp_size < 1 or (self.warp_size & (self.warp_size - 1)) != 0:
+            raise InvalidParameterError(
+                f"warp_size must be a power of two, got {self.warp_size}"
+            )
+        if self.clock_hz <= 0:
+            raise InvalidParameterError("clock_hz must be positive")
+
+    @property
+    def total_cores(self) -> int:
+        return self.sm_count * self.cores_per_sm
+
+    @property
+    def warps_in_flight_per_sm(self) -> int:
+        """Warps an SM can issue concurrently (cores / warp width)."""
+        return max(1, self.cores_per_sm // self.warp_size)
+
+    def seconds_from_cycles(self, cycles: float) -> float:
+        return cycles / self.clock_hz
+
+
+#: The paper's card (§IV): NVIDIA Tesla K20c.
+TESLA_K20C = DeviceSpec(
+    name="Tesla K20c",
+    sm_count=13,
+    cores_per_sm=192,
+    warp_size=32,
+    clock_hz=700e6,
+    global_mem_bytes=int(4.8 * 2**30),
+)
+
+#: The §V "future work" card: Tesla K40 (15 SMX at higher boost clock,
+#: 12 GB). Used by the device-comparison ablation.
+TESLA_K40 = DeviceSpec(
+    name="Tesla K40",
+    sm_count=15,
+    cores_per_sm=192,
+    warp_size=32,
+    clock_hz=875e6,
+    global_mem_bytes=12 * 2**30,
+)
+
+#: A modern many-SM reference point for the scaling ablation (A100-class
+#: geometry at FP32-core granularity).
+AMPERE_A100 = DeviceSpec(
+    name="A100-class",
+    sm_count=108,
+    cores_per_sm=64,
+    warp_size=32,
+    clock_hz=1410e6,
+    global_mem_bytes=40 * 2**30,
+)
+
+#: A tiny device used by the test-suite to force many scheduling rounds.
+TEST_DEVICE = DeviceSpec(
+    name="test-gpu",
+    sm_count=2,
+    cores_per_sm=8,
+    warp_size=4,
+    clock_hz=1e6,
+    global_mem_bytes=64 * 2**20,
+    max_threads_per_block=64,
+)

@@ -1,0 +1,208 @@
+"""SIMT kernel execution.
+
+A *kernel* is a Python generator function with signature
+``kernel(ctx: ThreadCtx, *args)``. Each ``yield`` is a ``__syncthreads``
+barrier. The executor runs one generator per thread, advancing every thread
+of a block to the next barrier before any thread passes it, in a
+*deterministically shuffled* order per barrier phase (so code that is only
+correct under a particular thread order — a real-GPU bug class — fails
+here too, and atomic-ordering effects like Algorithm 1's unsorted ``locs``
+are exercised).
+
+Work accounting: kernels call ``ctx.work(n)`` to charge ``n`` work units to
+the current thread in the current phase. Reads/writes through the ``ctx``
+atomic helpers charge themselves. After the launch, per-thread counts are
+reduced warp-by-warp (a warp's cost is its *max* thread — SIMT lockstep)
+into a :class:`KernelReport`, and the cost model turns that into simulated
+cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import KernelError
+from repro.gpu.costmodel import CostModel
+from repro.gpu.device import DeviceSpec, TESLA_K20C
+from repro.gpu.memory import GlobalMemory, SharedMemory
+
+
+class ThreadCtx:
+    """Per-thread view of the execution: ids, shared memory, atomics."""
+
+    __slots__ = ("tid", "bid", "bdim", "gdim", "shared", "_ops", "_phase_ops")
+
+    def __init__(self, tid: int, bid: int, bdim: int, gdim: int, shared: SharedMemory):
+        self.tid = tid
+        self.bid = bid
+        self.bdim = bdim
+        self.gdim = gdim
+        self.shared = shared
+        self._ops = 0  # total work units this thread
+        self._phase_ops: list[int] = []  # per barrier phase
+
+    @property
+    def gtid(self) -> int:
+        """Global thread id."""
+        return self.bid * self.bdim + self.tid
+
+    def work(self, n: int = 1) -> None:
+        """Charge ``n`` work units to this thread (current phase)."""
+        self._ops += int(n)
+
+    def atomic_add(self, array: np.ndarray, index: int, value) -> int:
+        """CUDA ``atomicAdd``: add and return the *old* value.
+
+        Charged at global-memory weight — atomics are read-modify-write
+        round trips to DRAM/L2 on the modeled device class.
+        """
+        from repro.gpu.costmodel import GLOBAL_MEM_COST
+
+        old = array[index]
+        array[index] = old + value
+        self.work(GLOBAL_MEM_COST)
+        return old.item() if hasattr(old, "item") else old
+
+    def atomic_max(self, array: np.ndarray, index: int, value) -> int:
+        from repro.gpu.costmodel import GLOBAL_MEM_COST
+
+        old = array[index]
+        array[index] = max(old, value)
+        self.work(GLOBAL_MEM_COST)
+        return old.item() if hasattr(old, "item") else old
+
+    def atomic_exch(self, array: np.ndarray, index: int, value) -> int:
+        from repro.gpu.costmodel import GLOBAL_MEM_COST
+
+        old = array[index]
+        array[index] = value
+        self.work(GLOBAL_MEM_COST)
+        return old.item() if hasattr(old, "item") else old
+
+    def _end_phase(self) -> None:
+        self._phase_ops.append(self._ops)
+        self._ops = 0
+
+
+@dataclass
+class KernelReport:
+    """Aggregated accounting of one kernel launch."""
+
+    name: str
+    grid: int
+    block: int
+    n_phases: int
+    #: Sum over blocks/phases of (max thread ops per warp) — the serialized
+    #: SIMT cost of each warp.
+    warp_max_ops: float
+    #: Sum of all thread ops (the "useful" work).
+    total_thread_ops: float
+    #: Per-block cost (phase-summed warp-max, summed over the block's warps).
+    block_cycles: list[float] = field(default_factory=list)
+    #: warp divergence/imbalance ratio: 1 - total/(warp_max * warp_size).
+    imbalance: float = 0.0
+    #: Simulated device time (filled by the cost model).
+    sim_cycles: float = 0.0
+    sim_seconds: float = 0.0
+
+
+class Device:
+    """One simulated GPU: memory + kernel launcher + accumulated reports."""
+
+    def __init__(self, spec: DeviceSpec = TESLA_K20C, *, schedule_seed: int = 0):
+        self.spec = spec
+        self.memory = GlobalMemory(spec)
+        self.cost_model = CostModel(spec)
+        self.reports: list[KernelReport] = []
+        self._schedule_seed = int(schedule_seed)
+        self._launch_counter = 0
+
+    # -- kernel launch ------------------------------------------------------------
+    def launch(self, kernel, grid: int, block: int, *args, name: str | None = None) -> KernelReport:
+        """Run ``kernel`` over ``grid`` blocks of ``block`` threads."""
+        if block < 1 or block > self.spec.max_threads_per_block:
+            raise KernelError(
+                f"block size {block} outside [1, {self.spec.max_threads_per_block}]"
+            )
+        if grid < 1:
+            raise KernelError(f"grid size must be >= 1, got {grid}")
+        name = name or getattr(kernel, "__name__", "kernel")
+        self._launch_counter += 1
+        rng = np.random.default_rng(self._schedule_seed + 7919 * self._launch_counter)
+
+        warp = self.spec.warp_size
+        n_phases_seen = 0
+        warp_max_total = 0.0
+        thread_total = 0.0
+        block_cycles: list[float] = []
+
+        for bid in range(grid):
+            shared = SharedMemory(self.spec)
+            ctxs = [ThreadCtx(tid, bid, block, grid, shared) for tid in range(block)]
+            gens = [kernel(ctx, *args) for ctx in ctxs]
+            alive = list(range(block))
+            phase = 0
+            while alive:
+                order = rng.permutation(len(alive))
+                finished: list[int] = []
+                yielded: list[int] = []
+                for pos in order:
+                    t = alive[pos]
+                    try:
+                        next(gens[t])
+                        yielded.append(t)
+                    except StopIteration:
+                        finished.append(t)
+                    ctxs[t]._end_phase()
+                if yielded and finished:
+                    raise KernelError(
+                        f"barrier divergence in kernel {name!r} block {bid} "
+                        f"phase {phase}: threads {sorted(finished)[:4]}... exited "
+                        f"while others wait at a barrier"
+                    )
+                alive = sorted(yielded)
+                phase += 1
+            n_phases_seen = max(n_phases_seen, phase)
+
+            # Aggregate this block warp-by-warp, phase-by-phase.
+            bcycles = 0.0
+            max_phases = max(len(c._phase_ops) for c in ctxs)
+            for w0 in range(0, block, warp):
+                wthreads = ctxs[w0 : w0 + warp]
+                for p in range(max_phases):
+                    ops = [c._phase_ops[p] if p < len(c._phase_ops) else 0 for c in wthreads]
+                    m = max(ops)
+                    warp_max_total += m
+                    bcycles += m
+                    thread_total += sum(ops)
+            block_cycles.append(bcycles)
+
+        imbalance = 0.0
+        denom = warp_max_total * min(warp, block)
+        if denom > 0:
+            imbalance = 1.0 - thread_total / denom
+        report = KernelReport(
+            name=name,
+            grid=grid,
+            block=block,
+            n_phases=n_phases_seen,
+            warp_max_ops=warp_max_total,
+            total_thread_ops=thread_total,
+            block_cycles=block_cycles,
+            imbalance=imbalance,
+        )
+        self.cost_model.time_kernel(report)
+        self.reports.append(report)
+        return report
+
+    # -- accounting ---------------------------------------------------------------
+    def total_sim_seconds(self) -> float:
+        return sum(r.sim_seconds for r in self.reports)
+
+    def total_sim_cycles(self) -> float:
+        return sum(r.sim_cycles for r in self.reports)
+
+    def reset_reports(self) -> None:
+        self.reports.clear()

@@ -1,0 +1,89 @@
+"""Simulated device memory with budget accounting.
+
+:class:`GlobalMemory` hands out real NumPy arrays but charges them against
+the device's global-memory budget, raising
+:class:`~repro.errors.MemoryBudgetError` on exhaustion — this is what makes
+the paper's "the index must fit a memory-restricted device" constraint
+testable. :class:`SharedMemory` is the per-block scratch space, checked
+against ``shared_mem_per_block``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import MemoryBudgetError
+from repro.gpu.device import DeviceSpec
+
+
+class GlobalMemory:
+    """Allocation-tracked global memory of one simulated device."""
+
+    def __init__(self, spec: DeviceSpec):
+        self.spec = spec
+        self._allocs: dict[str, np.ndarray] = {}
+        self.peak_bytes = 0
+
+    @property
+    def used_bytes(self) -> int:
+        return sum(a.nbytes for a in self._allocs.values())
+
+    @property
+    def free_bytes(self) -> int:
+        return self.spec.global_mem_bytes - self.used_bytes
+
+    def alloc(self, name: str, shape, dtype) -> np.ndarray:
+        """Allocate a named, zero-initialized array on the device."""
+        if name in self._allocs:
+            raise MemoryBudgetError(f"allocation {name!r} already exists")
+        arr = np.zeros(shape, dtype=dtype)
+        if arr.nbytes > self.free_bytes:
+            need = arr.nbytes
+            raise MemoryBudgetError(
+                f"device OOM allocating {name!r}: need {need} bytes, "
+                f"{self.free_bytes} free of {self.spec.global_mem_bytes}"
+            )
+        self._allocs[name] = arr
+        self.peak_bytes = max(self.peak_bytes, self.used_bytes)
+        return arr
+
+    def upload(self, name: str, host_array: np.ndarray) -> np.ndarray:
+        """Copy a host array onto the device (alloc + copy)."""
+        arr = self.alloc(name, host_array.shape, host_array.dtype)
+        arr[...] = host_array
+        return arr
+
+    def free(self, name: str) -> None:
+        if name not in self._allocs:
+            raise MemoryBudgetError(f"free of unknown allocation {name!r}")
+        del self._allocs[name]
+
+    def free_all(self) -> None:
+        self._allocs.clear()
+
+    def get(self, name: str) -> np.ndarray:
+        return self._allocs[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._allocs
+
+
+class SharedMemory:
+    """Per-block shared memory: named arrays within the block budget."""
+
+    def __init__(self, spec: DeviceSpec):
+        self.spec = spec
+        self._arrays: dict[str, np.ndarray] = {}
+
+    def array(self, name: str, shape, dtype) -> np.ndarray:
+        """Get-or-create a shared array (all threads of the block see it)."""
+        if name not in self._arrays:
+            arr = np.zeros(shape, dtype=dtype)
+            used = sum(a.nbytes for a in self._arrays.values())
+            if used + arr.nbytes > self.spec.shared_mem_per_block:
+                raise MemoryBudgetError(
+                    f"shared memory overflow: {used + arr.nbytes} bytes "
+                    f"> {self.spec.shared_mem_per_block} per block"
+                )
+            self._arrays[name] = arr
+        return self._arrays[name]

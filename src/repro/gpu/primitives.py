@@ -1,0 +1,132 @@
+"""Device-wide primitives: prefix sum and segmented sort.
+
+The paper treats ``GPUPrefixSum`` and per-seed sorting as library
+primitives (Algorithm 1 steps 2 and 4, Algorithm 2). We provide them in two
+forms:
+
+- :func:`gpu_prefix_sum` / :func:`gpu_segment_sort` — *analytically timed*
+  primitives: functionally NumPy, but they charge the device's cost model
+  with the work/depth of the textbook parallel algorithm (Blelchch scan:
+  ``2n`` work over ``2 log n`` phases; bitonic-style segment sort:
+  ``n log² n`` work). The simulated pipeline uses these so that simulated
+  runtimes include primitive costs without per-thread Python overhead.
+- :func:`exclusive_prefix_sum_kernel` — a genuine Blelloch up-/down-sweep
+  written as a per-thread kernel, used by the test-suite to validate the
+  barrier/scheduling machinery against ``np.cumsum``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import KernelError
+from repro.gpu.kernel import Device, KernelReport
+
+
+def _charge_primitive(device: Device, name: str, work: float, depth: float) -> KernelReport:
+    """Record an analytically-modeled primitive in the device's reports.
+
+    ``work`` total operations spread over the whole device; ``depth``
+    sequential phases. Simulated cycles = max(work / total_cores, depth).
+    """
+    spec = device.spec
+    cycles = max(work / spec.total_cores, depth)
+    report = KernelReport(
+        name=name,
+        grid=1,
+        block=1,
+        n_phases=int(depth),
+        warp_max_ops=work,
+        total_thread_ops=work,
+        block_cycles=[cycles],
+        imbalance=0.0,
+        sim_cycles=cycles,
+        sim_seconds=spec.seconds_from_cycles(cycles),
+    )
+    device.reports.append(report)
+    return report
+
+
+def gpu_prefix_sum(device: Device, array: np.ndarray, *, exclusive: bool = True) -> np.ndarray:
+    """In-place device prefix sum (Blelloch cost: 2n work, 2 log n depth)."""
+    n = array.size
+    if n:
+        if exclusive:
+            total = array.copy()
+            array[0] = 0
+            np.cumsum(total[:-1], out=array[1:])
+        else:
+            np.cumsum(array, out=array)
+    _charge_primitive(
+        device, "GPUPrefixSum", work=2.0 * n, depth=2.0 * max(1.0, math.log2(max(n, 2)))
+    )
+    return array
+
+
+def gpu_segment_sort(device: Device, values: np.ndarray, seg_starts: np.ndarray) -> np.ndarray:
+    """Sort each segment ``values[seg_starts[i]:seg_starts[i+1]]`` ascending.
+
+    Models Algorithm 1 step 4 ("assign a thread per seed and sort its
+    locations"): charged as one thread per segment doing an insertion-style
+    sort, so the cost model sees the per-seed imbalance (a hot seed's long
+    segment serializes its warp — the same skew Fig. 6 shows).
+    """
+    seg_starts = np.asarray(seg_starts, dtype=np.int64)
+    if seg_starts.size and (seg_starts[0] != 0 or seg_starts[-1] != values.size):
+        raise KernelError("seg_starts must start at 0 and end at len(values)")
+    lengths = np.diff(seg_starts)
+    out = values
+    for lo, hi in zip(seg_starts[:-1], seg_starts[1:]):
+        if hi - lo > 1:
+            out[lo:hi] = np.sort(out[lo:hi])
+    # Warp-max accounting: group segments into warps of warp_size threads.
+    warp = device.spec.warp_size
+    cost = lengths * np.maximum(np.log2(np.maximum(lengths, 2)), 1.0)
+    n_seg = cost.size
+    warp_max = 0.0
+    for w0 in range(0, n_seg, warp):
+        warp_max += float(cost[w0 : w0 + warp].max(initial=0.0))
+    _charge_primitive(
+        device,
+        "GPUSegmentSort",
+        work=float(warp_max) * warp,
+        depth=float(cost.max(initial=1.0)),
+    )
+    return out
+
+
+def exclusive_prefix_sum_kernel(ctx, data: np.ndarray, n: int):
+    """Genuine Blelloch scan kernel over ``data[:n]`` (single block).
+
+    ``n`` must be a power of two not exceeding the block size × 2. Used by
+    tests to validate barrier semantics; the pipeline uses the analytic
+    :func:`gpu_prefix_sum`.
+    """
+    tid = ctx.tid
+    # Up-sweep (reduce).
+    depth = int(math.log2(n))
+    stride = 1
+    for _ in range(depth):
+        idx = (tid + 1) * stride * 2 - 1
+        if idx < n:
+            data[idx] += data[idx - stride]
+            ctx.work(1)
+        stride *= 2
+        yield
+    # Clear the root and down-sweep.
+    if tid == 0:
+        data[n - 1] = 0
+        ctx.work(1)
+    yield
+    stride = n // 2
+    for _ in range(depth):
+        idx = (tid + 1) * stride * 2 - 1
+        if idx < n:
+            left = data[idx - stride].copy() if hasattr(data[idx - stride], "copy") else data[idx - stride]
+            data[idx - stride] = data[idx]
+            data[idx] += left
+            ctx.work(2)
+        stride //= 2
+        yield

@@ -1,0 +1,89 @@
+"""Device profiling: aggregate kernel reports into a readable summary.
+
+The simulator records one :class:`~repro.gpu.kernel.KernelReport` per
+launch/primitive. This module rolls them up per kernel name — launches,
+simulated time, share of total, work efficiency (useful thread work over
+serialized warp work), and imbalance — the view a CUDA profiler would give
+and what the EXPERIMENTS analysis of the simulated backend reads.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass, field
+
+from repro.gpu.kernel import Device, KernelReport
+
+
+@dataclass
+class KernelSummary:
+    """Aggregate of all launches sharing one kernel name."""
+
+    name: str
+    launches: int = 0
+    sim_seconds: float = 0.0
+    sim_cycles: float = 0.0
+    total_thread_ops: float = 0.0
+    warp_max_ops: float = 0.0
+
+    @property
+    def efficiency(self) -> float:
+        """Useful work / serialized warp work (1.0 = perfectly converged)."""
+        if self.warp_max_ops <= 0:
+            return 1.0
+        return min(1.0, self.total_thread_ops / self.warp_max_ops)
+
+
+@dataclass
+class DeviceProfile:
+    """Per-kernel rollup of a device's recorded activity."""
+
+    device_name: str
+    kernels: dict[str, KernelSummary] = field(default_factory=dict)
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(k.sim_seconds for k in self.kernels.values())
+
+    def share(self, name: str) -> float:
+        total = self.total_seconds
+        if total <= 0 or name not in self.kernels:
+            return 0.0
+        return self.kernels[name].sim_seconds / total
+
+    def hottest(self, n: int = 3) -> list[KernelSummary]:
+        return sorted(
+            self.kernels.values(), key=lambda k: -k.sim_seconds
+        )[:n]
+
+    def format(self) -> str:
+        out = io.StringIO()
+        out.write(f"== device profile: {self.device_name} ==\n")
+        out.write(
+            f"{'kernel':<20}{'launches':>10}{'sim time':>12}{'share':>8}"
+            f"{'efficiency':>12}\n"
+        )
+        for k in sorted(self.kernels.values(), key=lambda k: -k.sim_seconds):
+            out.write(
+                f"{k.name:<20}{k.launches:>10}{k.sim_seconds:>11.6f}s"
+                f"{self.share(k.name):>7.1%}{k.efficiency:>12.2f}\n"
+            )
+        out.write(f"{'total':<20}{'':>10}{self.total_seconds:>11.6f}s\n")
+        return out.getvalue()
+
+
+def profile_device(device: Device) -> DeviceProfile:
+    """Roll up everything the device has recorded so far."""
+    profile = DeviceProfile(device_name=device.spec.name)
+    for report in device.reports:
+        summary = profile.kernels.setdefault(
+            report.name, KernelSummary(name=report.name)
+        )
+        summary.launches += 1
+        summary.sim_seconds += report.sim_seconds
+        summary.sim_cycles += report.sim_cycles
+        summary.total_thread_ops += report.total_thread_ops
+        summary.warp_max_ops += report.warp_max_ops * min(
+            device.spec.warp_size, report.block
+        )
+    return profile

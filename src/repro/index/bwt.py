@@ -1,0 +1,89 @@
+"""Burrows-Wheeler transform.
+
+The FM-index (slaMEM's substrate) is built on the BWT of the sentinel-
+terminated reference. Internally FM machinery works over the shifted
+alphabet ``{0: sentinel, 1: A, 2: C, 3: G, 4: T}`` so the sentinel is the
+unique smallest symbol, as required for the LF mapping to be a bijection.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import IndexError_
+from repro.index.suffix_array import suffix_array
+
+#: Sentinel symbol in the shifted FM alphabet.
+SENTINEL = 0
+
+#: Size of the shifted FM alphabet (sentinel + ACGT).
+FM_SIGMA = 5
+
+
+def _with_sentinel(codes: np.ndarray) -> np.ndarray:
+    """Shift bases to 1..4 and append the 0 sentinel."""
+    codes = np.asarray(codes, dtype=np.uint8)
+    out = np.empty(codes.size + 1, dtype=np.uint8)
+    out[:-1] = codes + 1
+    out[-1] = SENTINEL
+    return out
+
+
+def bwt_from_sa(text: np.ndarray, sa: np.ndarray) -> np.ndarray:
+    """BWT of ``text`` given the suffix array of the *same* text.
+
+    ``bwt[i] = text[sa[i] - 1]`` with wraparound at 0.
+    """
+    text = np.asarray(text, dtype=np.uint8)
+    sa = np.asarray(sa, dtype=np.int64)
+    if text.size != sa.size:
+        raise IndexError_("text and suffix array sizes differ")
+    prev = sa - 1
+    prev[prev < 0] = text.size - 1
+    return text[prev]
+
+
+def bwt_transform(codes: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Sentinel-terminated BWT of a base-code sequence.
+
+    Returns ``(bwt, sa)`` over the shifted alphabet; ``sa`` is the suffix
+    array of the sentinel-terminated text (length ``len(codes) + 1``).
+    """
+    text = _with_sentinel(codes)
+    sa = suffix_array(text)
+    return bwt_from_sa(text, sa), sa
+
+
+def inverse_bwt(bwt: np.ndarray) -> np.ndarray:
+    """Recover the original base codes from a sentinel-terminated BWT.
+
+    Vectorized LF-walk: precompute the LF mapping for every row, then follow
+    it ``n`` steps starting from the sentinel row.
+    """
+    bwt = np.asarray(bwt, dtype=np.uint8)
+    n = bwt.size
+    if n == 0:
+        return np.empty(0, dtype=np.uint8)
+    counts = np.bincount(bwt, minlength=FM_SIGMA)
+    if counts[SENTINEL] != 1:
+        raise IndexError_(
+            f"BWT must contain exactly one sentinel, found {counts[SENTINEL]}"
+        )
+    c = np.zeros(FM_SIGMA + 1, dtype=np.int64)
+    np.cumsum(counts, out=c[1:])
+    # occ_before[i] = number of bwt[j] == bwt[i] for j < i
+    order = np.argsort(bwt, kind="stable")
+    occ_before = np.empty(n, dtype=np.int64)
+    occ_before[order] = np.arange(n) - c[bwt[order]]
+    lf = c[bwt] + occ_before
+    # Walk backwards from the row whose suffix is the full text.
+    out = np.empty(n - 1, dtype=np.uint8)
+    row = int(np.nonzero(bwt == SENTINEL)[0][0])
+    # text[-1] (before sentinel) is bwt[row0] where row0 = rank of full text;
+    # simplest: iterate LF from row of sentinel-only suffix (row 0).
+    row = 0
+    for i in range(n - 1, 0, -1):
+        sym = bwt[row]
+        out[i - 1] = sym - 1
+        row = int(lf[row])
+    return out

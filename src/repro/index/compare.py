@@ -1,0 +1,146 @@
+"""Batched sequence-comparison kernels.
+
+Every matcher in the library reduces to one primitive: *given many position
+pairs, how far do the two sequences agree?* This module provides that
+primitive fully vectorized:
+
+- :func:`common_prefix_len` — forward agreement run length for a batch of
+  position pairs (used for right extension, LCP arrays, match verification).
+- :func:`common_suffix_len` — backward agreement run length (left
+  extension / left-maximality).
+- :func:`compare_positions` — three-way suffix comparison (used by the
+  batched binary searches of the suffix-array baselines).
+
+The kernels compare fixed-size windows (``CHUNK`` bases) per vectorized
+round, retiring pairs as soon as a mismatch appears, so total work is
+``O(sum of agreement lengths + CHUNK * n_pairs)`` with NumPy-sized
+constants. Batches are internally split so peak scratch memory stays below
+``~CHUNK * BATCH`` bytes per operand.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Bases compared per vectorized round.
+CHUNK = 64
+
+#: Maximum pairs gathered at once (bounds scratch memory to ~32 MB).
+BATCH = 1 << 18
+
+# Distinct out-of-range sentinels so a run can never continue past the end
+# of either sequence (4 != 5, and neither equals a real base 0..3).
+_SENT_A = 4
+_SENT_B = 5
+
+
+def _padded(codes: np.ndarray, sentinel: int) -> np.ndarray:
+    """Copy of ``codes`` with CHUNK sentinel bases appended."""
+    out = np.full(codes.size + CHUNK, sentinel, dtype=np.uint8)
+    out[: codes.size] = codes
+    return out
+
+
+def common_prefix_len(
+    a: np.ndarray,
+    b: np.ndarray,
+    pa: np.ndarray,
+    pb: np.ndarray,
+    *,
+    limit: int | None = None,
+) -> np.ndarray:
+    """Length of the longest common prefix of ``a[pa:]`` and ``b[pb:]``.
+
+    Vectorized over equal-length position vectors ``pa``/``pb``. Positions
+    at or past the end of their sequence yield 0. With ``limit`` the result
+    is capped (and the scan stops early, so capping is also an optimization).
+    """
+    pa = np.asarray(pa, dtype=np.int64)
+    pb = np.asarray(pb, dtype=np.int64)
+    if pa.shape != pb.shape:
+        raise ValueError(f"position shape mismatch: {pa.shape} vs {pb.shape}")
+    n = pa.size
+    out = np.zeros(n, dtype=np.int64)
+    if n == 0:
+        return out
+    a_pad = _padded(np.ascontiguousarray(a, dtype=np.uint8), _SENT_A)
+    b_pad = _padded(np.ascontiguousarray(b, dtype=np.uint8), _SENT_B)
+    na, nb = a.size, b.size
+    offsets = np.arange(CHUNK)
+    for lo in range(0, n, BATCH):
+        hi = min(lo + BATCH, n)
+        idx = np.arange(lo, hi)
+        # Out-of-range start positions are moved onto the sentinel region so
+        # their run length is 0 (rather than silently clamping into the data).
+        cur_a = np.where((pa[idx] < 0) | (pa[idx] > na), na, pa[idx])
+        cur_b = np.where((pb[idx] < 0) | (pb[idx] > nb), nb, pb[idx])
+        run = np.zeros(idx.size, dtype=np.int64)
+        active = np.arange(idx.size)
+        while active.size:
+            wa = a_pad[cur_a[active, None] + offsets]
+            wb = b_pad[cur_b[active, None] + offsets]
+            neq = wa != wb
+            has_mismatch = neq.any(axis=1)
+            first = np.where(has_mismatch, neq.argmax(axis=1), CHUNK)
+            run[active] += first
+            survivors = ~has_mismatch
+            if limit is not None:
+                survivors &= run[active] < limit
+            active = active[survivors]
+            cur_a[active] += CHUNK
+            cur_b[active] += CHUNK
+        if limit is not None:
+            np.minimum(run, limit, out=run)
+        out[idx] = run
+    return out
+
+
+def common_suffix_len(
+    a: np.ndarray,
+    b: np.ndarray,
+    pa: np.ndarray,
+    pb: np.ndarray,
+    *,
+    limit: int | None = None,
+) -> np.ndarray:
+    """Length of the longest common suffix of ``a[:pa]`` and ``b[:pb]``.
+
+    This is the left-extension primitive: for a match whose starts are
+    ``(r, q)``, ``common_suffix_len(R, Q, r, q)`` says how far the match can
+    grow to the left.
+    """
+    a = np.ascontiguousarray(a, dtype=np.uint8)
+    b = np.ascontiguousarray(b, dtype=np.uint8)
+    pa = np.asarray(pa, dtype=np.int64)
+    pb = np.asarray(pb, dtype=np.int64)
+    # Reverse both sequences; a common suffix of prefixes becomes a common
+    # prefix of suffixes at mirrored positions.
+    return common_prefix_len(
+        a[::-1], b[::-1], a.size - pa, b.size - pb, limit=limit
+    )
+
+
+def compare_positions(
+    a: np.ndarray,
+    b: np.ndarray,
+    pa: np.ndarray,
+    pb: np.ndarray,
+) -> np.ndarray:
+    """Three-way comparison of suffixes ``a[pa:]`` vs ``b[pb:]``.
+
+    Returns -1 / 0 / +1 per pair under true suffix order: compare bases until
+    the first difference; if one suffix is a proper prefix of the other, the
+    shorter one is smaller (matching the suffix-array convention with a
+    virtual end-of-string sentinel smaller than every base).
+    """
+    a = np.ascontiguousarray(a, dtype=np.uint8)
+    b = np.ascontiguousarray(b, dtype=np.uint8)
+    pa = np.asarray(pa, dtype=np.int64)
+    pb = np.asarray(pb, dtype=np.int64)
+    lcp = common_prefix_len(a, b, pa, pb)
+    # Character (or sentinel) that decided the comparison.
+    ia = pa + lcp
+    ib = pb + lcp
+    ca = np.where(ia < a.size, a[np.minimum(ia, a.size - 1)].astype(np.int16), -1)
+    cb = np.where(ib < b.size, b[np.minimum(ib, b.size - 1)].astype(np.int16), -1)
+    return np.sign(ca - cb).astype(np.int8)

@@ -1,0 +1,148 @@
+"""Enhanced (sparse) suffix array machinery — the essaMEM substrate.
+
+essaMEM [Vyverman et al. 2013] augments sparseMEM's sparse suffix array with
+auxiliary sparse structures (child-array-style interval navigation) so that
+interval lookups avoid full binary searches. We model that accelerator as a
+``4^k``-entry k-mer prefix table (an option real essaMEM also ships) plus
+:class:`LCPIntervals`, a reusable LCP-interval-tree toolkit used both here
+and by the slaMEM matcher for parent-interval lookups.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+from repro.index.rmq import SparseTableRMQ
+from repro.index.sparse_sa import SparseSuffixArray
+
+
+class LCPIntervals:
+    """LCP-interval navigation over a (possibly sparse) suffix array.
+
+    An *lcp-interval* ``[lo, hi)`` of depth ``d`` groups all suffixes that
+    share a length-``d`` prefix. The two operations MEM matchers need:
+
+    - :meth:`depth`: the string depth of an interval (min internal LCP);
+    - :meth:`parent`: the smallest enclosing interval of strictly smaller
+      depth (used by backward-search matchers to shorten the current match
+      from the right).
+
+    Both are built on a sparse-table RMQ, and :meth:`parent` is vectorized
+    via galloping + binary search on range minima.
+    """
+
+    def __init__(self, lcp: np.ndarray):
+        self.lcp = np.asarray(lcp, dtype=np.int64)
+        self.m = int(self.lcp.size)
+        self._rmq = SparseTableRMQ(self.lcp)
+
+    def depth(self, lo, hi):
+        """String depth of interval(s) ``[lo, hi)``: ``min lcp[lo+1 : hi]``.
+
+        Singleton intervals have depth "suffix length", which callers must
+        cap themselves; here they get int64 max from the RMQ's empty value.
+        """
+        lo = np.asarray(lo, dtype=np.int64)
+        hi = np.asarray(hi, dtype=np.int64)
+        return self._rmq.query(lo + 1, hi)
+
+    def parent(self, lo, hi):
+        """Smallest enclosing interval with depth < depth([lo, hi)).
+
+        Vectorized: for each interval, the parent depth is
+        ``d' = max(lcp[lo], lcp[hi])`` (with 0 at the array ends), and the
+        parent's bounds are found by binary-searching how far the bounds can
+        be pushed while every crossed LCP stays ``>= d'``.
+
+        Returns ``(plo, phi, pdepth)``.
+        """
+        scalar = np.isscalar(lo) and np.isscalar(hi)
+        lo = np.atleast_1d(np.asarray(lo, dtype=np.int64))
+        hi = np.atleast_1d(np.asarray(hi, dtype=np.int64))
+        left_lcp = np.where(lo > 0, self.lcp[np.maximum(lo, 0)], 0)
+        left_lcp = np.where(lo <= 0, 0, left_lcp)
+        right_lcp = np.where(hi < self.m, self.lcp[np.minimum(hi, self.m - 1)], 0)
+        pdepth = np.maximum(left_lcp, right_lcp)
+
+        plo = self._extend_left(lo, pdepth)
+        phi = self._extend_right(hi, pdepth)
+        if scalar:
+            return int(plo[0]), int(phi[0]), int(pdepth[0])
+        return plo, phi, pdepth
+
+    def parent_scalar(self, lo: int, hi: int) -> tuple[int, int, int]:
+        """Scalar fast path of :meth:`parent` (hot in the slaMEM matcher)."""
+        left = int(self.lcp[lo]) if lo > 0 else 0
+        right = int(self.lcp[hi]) if hi < self.m else 0
+        d = max(left, right)
+        rmq = self._rmq.query_scalar
+        a, b = 0, lo
+        while a < b:  # smallest plo with min lcp[plo+1 : lo+1] >= d
+            mid = (a + b) >> 1
+            if rmq(mid + 1, lo + 1) >= d:
+                b = mid
+            else:
+                a = mid + 1
+        plo = a
+        a, b = hi, self.m
+        while a < b:  # largest phi with min lcp[hi : phi] >= d
+            mid = (a + b + 1) >> 1
+            if rmq(hi, mid) >= d:
+                a = mid
+            else:
+                b = mid - 1
+        return plo, a, d
+
+    def _extend_left(self, lo: np.ndarray, depth: np.ndarray) -> np.ndarray:
+        """Smallest ``plo <= lo`` with ``min lcp[plo+1 : lo+1] >= depth``."""
+        out = lo.copy()
+        # Binary search per element on the monotone predicate
+        # "min lcp[x+1 : lo+1] >= depth" (monotone in x).
+        lo_bound = np.zeros_like(lo)
+        hi_bound = lo.copy()
+        while True:
+            active = lo_bound < hi_bound
+            if not active.any():
+                break
+            mid = (lo_bound + hi_bound) >> 1
+            ok = self._rmq.query(mid + 1, lo + 1) >= depth
+            take = active & ok
+            hi_bound = np.where(take, mid, hi_bound)
+            lo_bound = np.where(active & ~ok, mid + 1, lo_bound)
+        out = lo_bound
+        return out
+
+    def _extend_right(self, hi: np.ndarray, depth: np.ndarray) -> np.ndarray:
+        """Largest ``phi >= hi`` with ``min lcp[hi : phi] >= depth``."""
+        lo_bound = hi.copy()
+        hi_bound = np.full_like(hi, self.m)
+        while True:
+            active = lo_bound < hi_bound
+            if not active.any():
+                break
+            mid = (lo_bound + hi_bound + 1) >> 1
+            ok = self._rmq.query(hi, mid) >= depth
+            take = active & ok
+            lo_bound = np.where(take, mid, lo_bound)
+            hi_bound = np.where(active & ~ok, mid - 1, hi_bound)
+        return lo_bound
+
+
+class EnhancedSparseSuffixArray(SparseSuffixArray):
+    """Sparse suffix array + essaMEM-style auxiliary structures.
+
+    The ``prefix_table_k`` accelerator (default: 8-mer table) stands in for
+    essaMEM's sparse child array: both let a query skip straight into a deep
+    interval instead of bisecting from the root. :attr:`intervals` exposes
+    LCP-interval navigation for interval-walking matchers.
+    """
+
+    DEFAULT_PREFIX_K = 8
+
+    def __init__(self, reference, *, sparseness: int, prefix_table_k: int | None = None):
+        k = self.DEFAULT_PREFIX_K if prefix_table_k is None else int(prefix_table_k)
+        if k < 1:
+            raise InvalidParameterError("EnhancedSparseSuffixArray needs a prefix table")
+        super().__init__(reference, sparseness=sparseness, prefix_table_k=k)
+        self.intervals = LCPIntervals(self.lcp)

@@ -1,0 +1,194 @@
+"""FM-index with checkpointed occurrence counts and a sampled suffix array.
+
+This is the substrate of the slaMEM baseline [Fernandes & Freitas 2013],
+which performs MEM retrieval with the backward-search method of the FM-index
+[Ferragina & Manzini 2000]. The index supports:
+
+- ``backward_extend``: prepend one symbol to the current SA interval (the
+  core backward-search step),
+- ``count``/``search``: full-pattern backward search,
+- ``locate``: text positions of an interval via sampled-SA + LF walking,
+- batched variants of the hot operations (vectors of intervals), which is
+  what the slaMEM matcher uses to process many query positions per step.
+
+Occ is stored as checkpoints every ``occ_rate`` rows plus the raw BWT; a
+point query adds the partial block count with one vectorized slice (or, in
+the batched path, a bincount-style gather).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import IndexError_
+from repro.index.bwt import FM_SIGMA, _with_sentinel, bwt_from_sa
+from repro.index.suffix_array import suffix_array
+
+
+class FMIndex:
+    """FM-index of a DNA code sequence (alphabet shifted internally).
+
+    Parameters
+    ----------
+    codes:
+        Base codes (0..3).
+    occ_rate:
+        Checkpoint spacing for the occurrence table.
+    sa_rate:
+        Sampling rate of the suffix array used by ``locate``.
+    """
+
+    def __init__(self, codes: np.ndarray, *, occ_rate: int = 64, sa_rate: int = 16):
+        codes = np.asarray(codes, dtype=np.uint8)
+        if occ_rate < 1 or sa_rate < 1:
+            raise IndexError_("occ_rate and sa_rate must be >= 1")
+        self.n_text = int(codes.size)
+        self.occ_rate = int(occ_rate)
+        self.sa_rate = int(sa_rate)
+
+        text = _with_sentinel(codes)
+        sa = suffix_array(text)
+        self.n = int(sa.size)  # == n_text + 1
+        self.bwt = bwt_from_sa(text, sa)
+
+        counts = np.bincount(self.bwt, minlength=FM_SIGMA).astype(np.int64)
+        #: C[s] = number of text symbols strictly smaller than s.
+        self.C = np.zeros(FM_SIGMA + 1, dtype=np.int64)
+        np.cumsum(counts, out=self.C[1:])
+
+        # Occ checkpoints: occ_ckpt[k, s] = #occurrences of s in bwt[:k*occ_rate]
+        n_ckpt = self.n // self.occ_rate + 1
+        onehot = np.zeros((self.n, FM_SIGMA), dtype=np.int64)
+        onehot[np.arange(self.n), self.bwt] = 1
+        cum = np.cumsum(onehot, axis=0)
+        self._occ_ckpt = np.zeros((n_ckpt, FM_SIGMA), dtype=np.int64)
+        marks = np.arange(1, n_ckpt) * self.occ_rate
+        self._occ_ckpt[1:] = cum[marks - 1]
+
+        # Sampled SA: keep sa[i] when sa[i] % sa_rate == 0; mark others -1.
+        self._sa_sample = np.where(sa % self.sa_rate == 0, sa, -1)
+        self._full_sa = None  # lazily materialized for tests / small inputs
+
+    # -- low-level Occ ------------------------------------------------------------
+    def occ(self, symbol, pos):
+        """#occurrences of ``symbol`` in ``bwt[:pos]`` (both vectorizable)."""
+        symbol = np.asarray(symbol, dtype=np.int64)
+        pos = np.asarray(pos, dtype=np.int64)
+        scalar = symbol.ndim == 0 and pos.ndim == 0
+        symbol = np.atleast_1d(symbol)
+        pos = np.atleast_1d(pos)
+        if np.any((pos < 0) | (pos > self.n)):
+            raise IndexError_("occ position out of range")
+        ck = pos // self.occ_rate
+        base = self._occ_ckpt[ck, symbol]
+        # Partial block: count matches in bwt[ck*occ_rate : pos].
+        starts = ck * self.occ_rate
+        rem = pos - starts
+        max_rem = int(rem.max(initial=0))
+        if max_rem > 0:
+            offs = np.arange(max_rem)
+            idx = np.minimum(starts[:, None] + offs, self.n - 1)
+            window = self.bwt[idx]
+            hits = (window == symbol[:, None]) & (offs < rem[:, None])
+            base = base + hits.sum(axis=1)
+        if scalar and base.size == 1:
+            return int(np.asarray(base).reshape(()))
+        return base
+
+    def occ_scalar(self, symbol: int, pos: int) -> int:
+        """Scalar fast path of :meth:`occ` (hot loop of the slaMEM matcher)."""
+        ck = pos // self.occ_rate
+        base = int(self._occ_ckpt[ck, symbol])
+        start = ck * self.occ_rate
+        if pos > start:
+            base += int(np.count_nonzero(self.bwt[start:pos] == symbol))
+        return base
+
+    def backward_extend_scalar(self, lo: int, hi: int, symbol: int) -> tuple[int, int]:
+        """Scalar fast path of :meth:`backward_extend` (symbol in 0..3)."""
+        s = symbol + 1
+        c = int(self.C[s])
+        return c + self.occ_scalar(s, lo), c + self.occ_scalar(s, hi)
+
+    # -- backward search ----------------------------------------------------------
+    def backward_extend(self, lo, hi, symbol):
+        """Prepend ``symbol``: interval of ``sP`` given interval of ``P``.
+
+        All three arguments may be vectors. Returns ``(lo', hi')``; empty
+        intervals come back with ``lo' == hi'``.
+        """
+        symbol = np.asarray(symbol, dtype=np.int64) + 1  # shift to FM alphabet
+        lo = np.asarray(lo, dtype=np.int64)
+        hi = np.asarray(hi, dtype=np.int64)
+        new_lo = self.C[symbol] + self.occ(symbol, lo)
+        new_hi = self.C[symbol] + self.occ(symbol, hi)
+        if np.ndim(new_lo) == 0 or (
+            symbol.ndim == 0 and lo.ndim == 0 and hi.ndim == 0
+        ):
+            return int(np.asarray(new_lo).reshape(())), int(
+                np.asarray(new_hi).reshape(())
+            )
+        return new_lo, new_hi
+
+    def whole_interval(self):
+        """The SA interval of the empty pattern: ``(0, n)``."""
+        return 0, self.n
+
+    def search(self, pattern: np.ndarray):
+        """Backward search of a full pattern; returns its SA interval."""
+        pattern = np.asarray(pattern, dtype=np.uint8)
+        lo, hi = self.whole_interval()
+        for sym in pattern[::-1]:
+            lo, hi = self.backward_extend(lo, hi, int(sym))
+            lo = int(np.asarray(lo).reshape(()) if np.asarray(lo).size == 1 else lo)
+            hi = int(np.asarray(hi).reshape(()) if np.asarray(hi).size == 1 else hi)
+            if lo >= hi:
+                return lo, lo
+        return lo, hi
+
+    def count(self, pattern: np.ndarray) -> int:
+        """Number of occurrences of ``pattern`` in the indexed text."""
+        lo, hi = self.search(pattern)
+        return int(hi - lo)
+
+    # -- locate -------------------------------------------------------------------
+    def lf(self, rows):
+        """LF mapping for one or many BWT rows."""
+        rows = np.asarray(rows, dtype=np.int64)
+        syms = self.bwt[rows].astype(np.int64)
+        return self.C[syms] + self.occ(syms, rows)
+
+    def locate(self, lo: int, hi: int) -> np.ndarray:
+        """Text positions (unsorted) of all suffixes in SA rows [lo, hi)."""
+        rows = np.arange(int(lo), int(hi), dtype=np.int64)
+        out = np.full(rows.size, -1, dtype=np.int64)
+        steps = np.zeros(rows.size, dtype=np.int64)
+        cur = rows.copy()
+        pending = np.arange(rows.size)
+        while pending.size:
+            sampled = self._sa_sample[cur[pending]]
+            done = sampled >= 0
+            hit = pending[done]
+            out[hit] = sampled[done] + steps[hit]
+            pending = pending[~done]
+            if pending.size:
+                cur[pending] = self.lf(cur[pending])
+                steps[pending] += 1
+        # Positions may exceed n_text - 1 only via the sentinel suffix; the
+        # sentinel row resolves to position n_text which callers never match.
+        return out
+
+    # -- validation helpers -------------------------------------------------------
+    def full_suffix_array(self) -> np.ndarray:
+        """Materialize the complete SA (tests / small inputs only)."""
+        if self._full_sa is None:
+            out = self.locate(0, self.n)
+            self._full_sa = out
+        return self._full_sa
+
+    @property
+    def nbytes(self) -> int:
+        """Approximate index footprint in bytes (bwt + checkpoints + samples)."""
+        return int(
+            self.bwt.nbytes + self._occ_ckpt.nbytes + self._sa_sample.nbytes
+        )

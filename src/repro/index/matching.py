@@ -1,0 +1,311 @@
+"""Batched suffix-array search: the shared engine of the CPU baselines.
+
+For a query position ``q``, the exact match length against reference suffix
+``SA[i]`` is ``λ(i) = lcp(Q[q:], R[SA[i]:])``, which — as a function of the
+SA row ``i`` — is the running minimum of adjacent LCP values moving away
+from the insertion point of ``Q[q:]``. The MUMmer/sparseMEM/essaMEM family
+all enumerate matches this way; they differ in which suffixes are in the
+array (sparseness ``K``) and how the insertion point is found.
+
+:class:`SuffixArraySearcher` implements the machinery *batched over all
+query positions at once*:
+
+1. construction — a sparseness-``K`` suffix array built by recoding the
+   reference into ``K``-base blocks and suffix-sorting the recoded string
+   (every-``K`` suffix order of ``R`` equals suffix order of the recoding,
+   so construction cost scales down with ``K`` exactly as sparseMEM's does);
+2. :meth:`insertion_points` — lockstep binary search (optionally seeded by a
+   k-mer prefix table, the essaMEM-style accelerator);
+3. :meth:`enumerate_candidates` — the outward running-min walk emitting all
+   ``(r, q, λ)`` with ``λ >= min_len``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+from repro.index.compare import common_prefix_len, compare_positions
+from repro.index.lcp import lcp_array
+from repro.index.suffix_array import suffix_array
+from repro.sequence.packed import kmer_codes
+
+#: Largest supported sparseness: K bases must fit one base-5 int64 block key.
+MAX_SPARSENESS = 26
+
+
+def sparse_suffix_positions(n: int, sparseness: int) -> np.ndarray:
+    """The suffix start positions of a sparseness-``K`` array: ``0, K, 2K...``"""
+    return np.arange(0, n, sparseness, dtype=np.int64)
+
+
+def _block_recode(codes: np.ndarray, k: int) -> np.ndarray:
+    """Recode ``codes`` into base-5 keys of ``K``-base blocks.
+
+    Symbols are shifted to 1..4 and the final partial block is padded with
+    0, so block-string suffix order equals sentinel-terminated suffix order
+    of the original every-``K`` suffixes.
+    """
+    n = codes.size
+    n_blocks = (n + k - 1) // k
+    padded = np.zeros(n_blocks * k, dtype=np.int64)
+    padded[:n] = codes.astype(np.int64) + 1
+    blocks = padded.reshape(n_blocks, k)
+    weights = 5 ** np.arange(k - 1, -1, -1, dtype=np.int64)
+    return blocks @ weights
+
+
+class SuffixArraySearcher:
+    """Search structure over the every-``K`` suffixes of a reference.
+
+    Parameters
+    ----------
+    reference:
+        Reference base codes.
+    sparseness:
+        ``K``: every ``K``-th suffix participates (1 = full suffix array).
+    prefix_table_k:
+        If nonzero, build a ``4**k``-entry table mapping each ``k``-mer to
+        its SA row interval, used to skip the first ``~2k`` bisection rounds
+        (the essaMEM-style auxiliary structure).
+    """
+
+    def __init__(
+        self,
+        reference: np.ndarray,
+        *,
+        sparseness: int = 1,
+        prefix_table_k: int = 0,
+    ):
+        if not 1 <= sparseness <= MAX_SPARSENESS:
+            raise InvalidParameterError(
+                f"sparseness must be in [1, {MAX_SPARSENESS}], got {sparseness}"
+            )
+        self.reference = np.ascontiguousarray(reference, dtype=np.uint8)
+        self.sparseness = int(sparseness)
+        n = self.reference.size
+
+        if sparseness == 1:
+            self.sa = suffix_array(self.reference)
+        else:
+            block_sa = suffix_array(_block_recode(self.reference, sparseness))
+            self.sa = block_sa * sparseness
+        self.lcp = lcp_array(self.reference, self.sa)
+        self.m = int(self.sa.size)
+
+        self.prefix_table_k = int(prefix_table_k)
+        if self.prefix_table_k > 0:
+            self._build_prefix_table()
+        else:
+            self._pt_lo = self._pt_hi = None
+
+    # -- construction -------------------------------------------------------------
+    def _build_prefix_table(self) -> None:
+        k = self.prefix_table_k
+        n = self.reference.size
+        # Padded base-5 key of each SA suffix's first k symbols (sentinel/
+        # end-of-string = 0, bases = 1..4): unlike raw base-4 k-mer values,
+        # these keys are monotone in suffix order even for suffixes shorter
+        # than k, so searchsorted buckets are exact.
+        keys = np.zeros(self.m, dtype=np.int64)
+        for j in range(k):
+            idx = self.sa + j
+            sym = np.where(
+                idx < n, self.reference[np.minimum(idx, n - 1)].astype(np.int64) + 1, 0
+            )
+            keys = keys * 5 + sym
+        # Map every base-4 k-mer value to its base-5 padded key.
+        grid = np.arange(4**k, dtype=np.int64)
+        v5 = np.zeros(grid.size, dtype=np.int64)
+        rest = grid.copy()
+        for j in range(k):  # extract digits most-significant first
+            digit = rest // 4 ** (k - 1 - j)
+            rest -= digit * 4 ** (k - 1 - j)
+            v5 = v5 * 5 + (digit + 1)
+        self._pt_lo = np.searchsorted(keys, v5, side="left").astype(np.int64)
+        self._pt_hi = np.searchsorted(keys, v5, side="right").astype(np.int64)
+
+    # -- queries ------------------------------------------------------------------
+    def insertion_points(self, query: np.ndarray, q_positions: np.ndarray) -> np.ndarray:
+        """Index ``ins`` per query suffix: number of SA suffixes < ``Q[q:]``."""
+        query = np.ascontiguousarray(query, dtype=np.uint8)
+        q_positions = np.asarray(q_positions, dtype=np.int64)
+        lo = np.zeros(q_positions.size, dtype=np.int64)
+        hi = np.full(q_positions.size, self.m, dtype=np.int64)
+
+        if self._pt_lo is not None and q_positions.size:
+            k = self.prefix_table_k
+            nq = query.size
+            fits = q_positions <= nq - k
+            if fits.any():
+                qk = kmer_codes(query, k)
+                vals = qk[q_positions[fits]]
+                lo[fits] = self._pt_lo[vals]
+                hi[fits] = self._pt_hi[vals]
+                # Inside a bucket every suffix shares the k-base prefix with
+                # the query suffix, so bisection below remains correct.
+
+        while True:
+            active = np.nonzero(lo < hi)[0]
+            if active.size == 0:
+                break
+            mid = (lo[active] + hi[active]) >> 1
+            cmp = compare_positions(
+                self.reference, query, self.sa[mid], q_positions[active]
+            )
+            less = cmp < 0
+            lo[active[less]] = mid[less] + 1
+            hi[active[~less]] = mid[~less]
+        return lo
+
+    def enumerate_candidates(
+        self,
+        query: np.ndarray,
+        q_positions: np.ndarray,
+        min_len: int,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """All ``(r, q, λ)`` with ``λ = lcp(Q[q:], R[r:]) >= min_len``.
+
+        ``r`` ranges over this searcher's suffix subset. Right-maximality is
+        inherent (``λ`` is the exact agreement length); left-maximality is the
+        caller's concern.
+        """
+        query = np.ascontiguousarray(query, dtype=np.uint8)
+        q_positions = np.asarray(q_positions, dtype=np.int64)
+        if min_len < 1:
+            raise InvalidParameterError(f"min_len must be >= 1, got {min_len}")
+        if q_positions.size == 0 or self.m == 0:
+            z = np.empty(0, dtype=np.int64)
+            return z, z.copy(), z.copy()
+
+        ins = self.insertion_points(query, q_positions)
+        out_r: list[np.ndarray] = []
+        out_q: list[np.ndarray] = []
+        out_l: list[np.ndarray] = []
+
+        for direction in (-1, +1):
+            idx = ins - 1 if direction < 0 else ins.copy()
+            in_range = (idx >= 0) & (idx < self.m)
+            active = np.nonzero(in_range)[0]
+            if active.size == 0:
+                continue
+            lam = np.zeros(q_positions.size, dtype=np.int64)
+            lam[active] = common_prefix_len(
+                self.reference, query, self.sa[idx[active]], q_positions[active]
+            )
+            active = active[lam[active] >= min_len]
+            while active.size:
+                out_r.append(self.sa[idx[active]])
+                out_q.append(q_positions[active])
+                out_l.append(lam[active].copy())
+                # Step outward: λ becomes min(λ, LCP across the step).
+                if direction < 0:
+                    lcp_step = self.lcp[idx[active]]  # lcp(sa[i-1], sa[i])
+                    idx[active] -= 1
+                else:
+                    nxt = idx[active] + 1
+                    lcp_step = np.where(
+                        nxt < self.m, self.lcp[np.minimum(nxt, self.m - 1)], 0
+                    )
+                    idx[active] += 1
+                lam[active] = np.minimum(lam[active], lcp_step)
+                keep = (
+                    (lam[active] >= min_len)
+                    & (idx[active] >= 0)
+                    & (idx[active] < self.m)
+                )
+                active = active[keep]
+
+        if not out_r:
+            z = np.empty(0, dtype=np.int64)
+            return z, z.copy(), z.copy()
+        return (
+            np.concatenate(out_r),
+            np.concatenate(out_q),
+            np.concatenate(out_l),
+        )
+
+    def matching_statistics(self, query: np.ndarray, q_positions=None) -> np.ndarray:
+        """``MS[q] = max_r lcp(Q[q:], R[r:])`` over this searcher's suffixes.
+
+        The per-position longest-match lengths (matching statistics) — the
+        quantity slaMEM's backward search maintains incrementally; here
+        computed batched from the insertion point's two neighbours, which
+        bound the maximum agreement over the whole array.
+        """
+        query = np.ascontiguousarray(query, dtype=np.uint8)
+        if q_positions is None:
+            q_positions = np.arange(query.size, dtype=np.int64)
+        else:
+            q_positions = np.asarray(q_positions, dtype=np.int64)
+        out = np.zeros(q_positions.size, dtype=np.int64)
+        if q_positions.size == 0 or self.m == 0:
+            return out
+        ins = self.insertion_points(query, q_positions)
+        for neighbour in (ins - 1, ins):
+            valid = (neighbour >= 0) & (neighbour < self.m)
+            if valid.any():
+                lam = common_prefix_len(
+                    self.reference, query,
+                    self.sa[neighbour[valid]], q_positions[valid],
+                )
+                out[valid] = np.maximum(out[valid], lam)
+        return out
+
+    def count_occurrences(self, positions: np.ndarray, lengths: np.ndarray) -> np.ndarray:
+        """#occurrences in the reference of ``R[p : p + λ]`` per ``(p, λ)``.
+
+        Used by the MUM/rare-match variants (paper §V future work): a match
+        is *unique* when its substring occurs exactly once. Works by walking
+        outward from each substring's own suffix rank while the running-min
+        LCP stays ≥ λ — output-proportional, fully batched.
+
+        Only meaningful on sparseness-1 searchers (occurrences at unsampled
+        positions would be missed otherwise).
+        """
+        if self.sparseness != 1:
+            raise InvalidParameterError(
+                "count_occurrences requires a full (sparseness-1) suffix array"
+            )
+        positions = np.asarray(positions, dtype=np.int64)
+        lengths = np.asarray(lengths, dtype=np.int64)
+        if positions.shape != lengths.shape:
+            raise InvalidParameterError("positions/lengths shape mismatch")
+        n = positions.size
+        counts = np.ones(n, dtype=np.int64)  # the occurrence at `positions`
+        if n == 0 or self.m == 0:
+            return counts
+        rank = np.empty(self.m, dtype=np.int64)
+        rank[self.sa] = np.arange(self.m)
+        home = rank[positions]
+        for direction in (-1, +1):
+            idx = home.copy()
+            lam = np.full(n, np.iinfo(np.int64).max, dtype=np.int64)
+            active = np.arange(n)
+            while active.size:
+                if direction < 0:
+                    lcp_step = self.lcp[idx[active]]
+                    idx[active] -= 1
+                else:
+                    nxt = idx[active] + 1
+                    lcp_step = np.where(
+                        nxt < self.m, self.lcp[np.minimum(nxt, self.m - 1)], 0
+                    )
+                    idx[active] += 1
+                lam[active] = np.minimum(lam[active], lcp_step)
+                keep = (
+                    (lam[active] >= lengths[active])
+                    & (idx[active] >= 0)
+                    & (idx[active] < self.m)
+                )
+                active = active[keep]
+                counts[active] += 1
+        return counts
+
+    @property
+    def nbytes(self) -> int:
+        """Index footprint: SA + LCP (+ prefix table)."""
+        total = self.sa.nbytes + self.lcp.nbytes
+        if self._pt_lo is not None:
+            total += self._pt_lo.nbytes + self._pt_hi.nbytes
+        return int(total)

@@ -1,0 +1,74 @@
+"""Range-minimum queries over the LCP array.
+
+The MEM-enumeration walk (``λ(SA[i]) = min LCP between i and the insertion
+point``) and LCP-interval navigation both need fast range minima. A classic
+sparse table gives ``O(n log n)`` preprocessing and ``O(1)`` queries, and —
+important here — *vectorized batched* queries.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class SparseTableRMQ:
+    """Sparse-table range-minimum structure over an int64 array.
+
+    Queries are over half-open ranges ``[lo, hi)`` and are vectorized:
+    ``rmq.query(lo_vec, hi_vec)`` answers a whole batch at once. Empty
+    ranges return the configured ``empty_value`` (default: int64 max).
+    """
+
+    def __init__(self, values: np.ndarray, *, empty_value: int | None = None):
+        values = np.asarray(values, dtype=np.int64)
+        self.n = int(values.size)
+        self.empty_value = (
+            np.iinfo(np.int64).max if empty_value is None else int(empty_value)
+        )
+        if self.n == 0:
+            self._table = np.empty((1, 0), dtype=np.int64)
+            return
+        levels = max(1, int(np.log2(self.n)) + 1)
+        table = np.empty((levels, self.n), dtype=np.int64)
+        table[0] = values
+        span = 1
+        for lvl in range(1, levels):
+            prev = table[lvl - 1]
+            m = self.n - 2 * span  # last index with a full 2*span window
+            table[lvl, : self.n] = prev
+            if m >= 0:
+                np.minimum(prev[: m + span], prev[span : m + 2 * span],
+                           out=table[lvl, : m + span])
+            span *= 2
+        self._table = table
+
+    def query_scalar(self, lo: int, hi: int) -> int:
+        """Scalar fast path of :meth:`query` (hot in interval walking)."""
+        if hi <= lo or lo < 0 or hi > self.n:
+            return self.empty_value
+        lvl = (hi - lo).bit_length() - 1
+        span = 1 << lvl
+        t = self._table[lvl]
+        return int(min(t[lo], t[hi - span]))
+
+    def query(self, lo, hi):
+        """Vectorized min over ``values[lo:hi]``; scalar in → scalar out."""
+        scalar = np.isscalar(lo) and np.isscalar(hi)
+        lo = np.atleast_1d(np.asarray(lo, dtype=np.int64))
+        hi = np.atleast_1d(np.asarray(hi, dtype=np.int64))
+        if lo.shape != hi.shape:
+            raise ValueError("lo/hi shape mismatch")
+        out = np.full(lo.shape, self.empty_value, dtype=np.int64)
+        valid = (hi > lo) & (lo >= 0) & (hi <= self.n)
+        if valid.any():
+            l, h = lo[valid], hi[valid]
+            length = h - l
+            lvl = np.frexp(length.astype(np.float64))[1] - 1  # floor(log2)
+            lvl = lvl.astype(np.int64)
+            span = np.int64(1) << lvl
+            left = self._table[lvl, l]
+            right = self._table[lvl, h - span]
+            out[valid] = np.minimum(left, right)
+        if scalar and out.size == 1:
+            return int(out.reshape(())[()])
+        return out

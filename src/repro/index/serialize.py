@@ -1,0 +1,113 @@
+"""Index persistence: save/load prebuilt indexes.
+
+Table IV's premise is tools matching with a *prebuilt* index. This module
+makes that workflow real for the library: the GPUMEM seed index and the
+suffix-array searchers serialize to single ``.npz`` files with format
+versioning and integrity checks on load.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import IndexError_
+from repro.index.kmer_index import KmerSeedIndex
+from repro.index.matching import SuffixArraySearcher
+
+#: Bump when the on-disk layout changes.
+FORMAT_VERSION = 1
+
+_KMER_MAGIC = "repro-kmer-index"
+_SA_MAGIC = "repro-sa-index"
+
+
+def save_kmer_index(index: KmerSeedIndex, path) -> None:
+    """Write a :class:`KmerSeedIndex` to ``path`` (.npz)."""
+    np.savez_compressed(
+        path,
+        magic=np.array(_KMER_MAGIC),
+        version=np.array(FORMAT_VERSION),
+        seed_length=np.array(index.seed_length),
+        step=np.array(index.step),
+        region_start=np.array(index.region_start),
+        region_end=np.array(index.region_end),
+        ptrs=index.ptrs,
+        locs=index.locs,
+    )
+
+
+def load_kmer_index(path) -> KmerSeedIndex:
+    """Read a :class:`KmerSeedIndex`; validates magic/version/consistency."""
+    with np.load(path, allow_pickle=False) as data:
+        _check_header(data, _KMER_MAGIC, path)
+        index = KmerSeedIndex(
+            seed_length=int(data["seed_length"]),
+            step=int(data["step"]),
+            region_start=int(data["region_start"]),
+            region_end=int(data["region_end"]),
+            ptrs=data["ptrs"].astype(np.int64),
+            locs=data["locs"].astype(np.int64),
+        )
+    try:
+        index.check()
+    except AssertionError as exc:
+        raise IndexError_(f"corrupt k-mer index in {path}: {exc}") from None
+    return index
+
+
+def save_searcher(searcher: SuffixArraySearcher, path) -> None:
+    """Write a suffix-array searcher (reference + SA + LCP) to ``path``."""
+    np.savez_compressed(
+        path,
+        magic=np.array(_SA_MAGIC),
+        version=np.array(FORMAT_VERSION),
+        sparseness=np.array(searcher.sparseness),
+        prefix_table_k=np.array(searcher.prefix_table_k),
+        reference=searcher.reference,
+        sa=searcher.sa,
+        lcp=searcher.lcp,
+    )
+
+
+def load_searcher(path) -> SuffixArraySearcher:
+    """Read a searcher; the SA is verified against the stored reference."""
+    from repro.index.suffix_array import verify_suffix_array
+
+    with np.load(path, allow_pickle=False) as data:
+        _check_header(data, _SA_MAGIC, path)
+        reference = data["reference"].astype(np.uint8)
+        sa = data["sa"].astype(np.int64)
+        lcp = data["lcp"].astype(np.int64)
+        sparseness = int(data["sparseness"])
+        prefix_table_k = int(data["prefix_table_k"])
+
+    searcher = SuffixArraySearcher.__new__(SuffixArraySearcher)
+    searcher.reference = reference
+    searcher.sparseness = sparseness
+    searcher.sa = sa
+    searcher.lcp = lcp
+    searcher.m = int(sa.size)
+    searcher.prefix_table_k = prefix_table_k
+    if prefix_table_k > 0:
+        searcher._build_prefix_table()
+    else:
+        searcher._pt_lo = searcher._pt_hi = None
+
+    if sparseness == 1 and not verify_suffix_array(reference, sa):
+        raise IndexError_(f"corrupt suffix array in {path}")
+    if sparseness > 1:
+        expect = np.arange(0, reference.size, sparseness)
+        if not np.array_equal(np.sort(sa), expect):
+            raise IndexError_(f"corrupt sparse suffix array in {path}")
+    return searcher
+
+
+def _check_header(data, magic: str, path) -> None:
+    if "magic" not in data or str(data["magic"]) != magic:
+        raise IndexError_(f"{path} is not a {magic} file")
+    version = int(data["version"])
+    if version > FORMAT_VERSION:
+        raise IndexError_(
+            f"{path} has format version {version}, newer than supported "
+            f"{FORMAT_VERSION}"
+        )

@@ -1,0 +1,46 @@
+"""Sparse suffix array (the sparseMEM data structure, Khan et al. 2009).
+
+A sparseness-``K`` suffix array indexes only suffixes starting at positions
+``0, K, 2K, ...``. Memory shrinks by ``K×`` but MEM extraction must do extra
+work: a MEM need not *start* at a sampled position, so every candidate found
+at a sampled anchor must be extended left by up to ``K - 1`` bases to recover
+the true start, and candidate collection must use the lowered threshold
+``L - K + 1`` (a length-``L`` MEM is only guaranteed to retain
+``L - (K - 1)`` bases to the right of its first sampled anchor).
+
+The heavy lifting (construction, batched search) lives in
+:class:`~repro.index.matching.SuffixArraySearcher`; this class adds the
+sparse-specific bookkeeping and is what :mod:`repro.baselines.sparsemem`
+builds on.
+"""
+
+from __future__ import annotations
+
+from repro.errors import InvalidParameterError
+from repro.index.matching import SuffixArraySearcher
+
+
+class SparseSuffixArray(SuffixArraySearcher):
+    """Sparseness-``K`` suffix array with MEM-oriented helpers."""
+
+    def __init__(self, reference, *, sparseness: int, prefix_table_k: int = 0):
+        super().__init__(
+            reference, sparseness=sparseness, prefix_table_k=prefix_table_k
+        )
+
+    def candidate_threshold(self, min_length: int) -> int:
+        """Candidate collection threshold: ``max(1, L - K + 1)``.
+
+        Every MEM of length ``>= min_length`` has a sampled anchor ``r'``
+        within its first ``K`` reference positions; the agreement length at
+        that anchor is at least ``min_length - (K - 1)``.
+        """
+        if min_length < 1:
+            raise InvalidParameterError(f"min_length must be >= 1, got {min_length}")
+        return max(1, min_length - self.sparseness + 1)
+
+    @property
+    def memory_reduction(self) -> float:
+        """Index size ratio versus a full (sparseness-1) suffix array."""
+        full = self.reference.size
+        return self.m / full if full else 1.0

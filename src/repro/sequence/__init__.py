@@ -1,0 +1,68 @@
+"""Sequence substrate: DNA alphabet, packing, FASTA I/O, synthetic genomes.
+
+Sequences travel through the library as NumPy ``uint8`` arrays of 2-bit codes
+(``A=0, C=1, G=2, T=3`` — the encoding from §III-A of the paper). The
+:class:`~repro.sequence.packed.PackedSequence` wrapper provides the actual
+2-bit-per-base packed storage used for memory accounting and fast k-mer /
+limb extraction.
+"""
+
+from repro.sequence.alphabet import (
+    ALPHABET,
+    ALPHABET_SIZE,
+    BASE_TO_CODE,
+    CODE_TO_BASE,
+    decode,
+    encode,
+    is_valid_codes,
+    random_dna,
+    reverse_complement,
+)
+from repro.sequence.packed import PackedSequence, kmer_codes, pack_bits, unpack_bits
+from repro.sequence.fasta import read_fasta, write_fasta
+from repro.sequence.synthetic import (
+    SyntheticGenomeSpec,
+    markov_dna,
+    mutate,
+    plant_homology,
+    plant_repeats,
+    synthesize_pair,
+)
+from repro.sequence.datasets import (
+    DATASETS,
+    EXPERIMENT_CONFIGS,
+    DatasetSpec,
+    ExperimentConfig,
+    load_dataset,
+    load_experiment,
+)
+
+__all__ = [
+    "ALPHABET",
+    "ALPHABET_SIZE",
+    "BASE_TO_CODE",
+    "CODE_TO_BASE",
+    "encode",
+    "decode",
+    "is_valid_codes",
+    "random_dna",
+    "reverse_complement",
+    "PackedSequence",
+    "kmer_codes",
+    "pack_bits",
+    "unpack_bits",
+    "read_fasta",
+    "write_fasta",
+    "SyntheticGenomeSpec",
+    "markov_dna",
+    "mutate",
+    "plant_homology",
+    "plant_repeats",
+    "synthesize_pair",
+    "DATASETS",
+    "EXPERIMENT_CONFIGS",
+    "DatasetSpec",
+    "ExperimentConfig",
+    "load_dataset",
+    "load_experiment",
+]

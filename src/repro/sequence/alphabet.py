@@ -1,0 +1,97 @@
+"""DNA alphabet and 2-bit code conversion.
+
+The paper (§III-A) encodes bases as ``A=00, C=01, G=10, T=11``; we keep the
+same code assignment so seed integers computed here are bit-compatible with
+the paper's description.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import InvalidSequenceError
+
+#: The DNA alphabet, in code order.
+ALPHABET = "ACGT"
+
+#: Number of letters, i.e. ``|Σ| = 4``.
+ALPHABET_SIZE = 4
+
+#: Mapping base letter -> 2-bit code.
+BASE_TO_CODE = {base: code for code, base in enumerate(ALPHABET)}
+
+#: Mapping 2-bit code -> base letter.
+CODE_TO_BASE = {code: base for code, base in enumerate(ALPHABET)}
+
+# 256-entry lookup for vectorized encoding; 255 marks an invalid letter.
+_ENC_LUT = np.full(256, 255, dtype=np.uint8)
+for _base, _code in BASE_TO_CODE.items():
+    _ENC_LUT[ord(_base)] = _code
+    _ENC_LUT[ord(_base.lower())] = _code
+
+_DEC_LUT = np.frombuffer(ALPHABET.encode("ascii"), dtype=np.uint8)
+
+
+def encode(seq: "str | bytes | np.ndarray") -> np.ndarray:
+    """Encode a DNA string into a ``uint8`` array of 2-bit codes.
+
+    Accepts ``str``, ``bytes`` or an already-encoded code array (validated
+    and passed through). Lower-case letters are accepted. Any other letter
+    (including ``N``) raises :class:`~repro.errors.InvalidSequenceError`;
+    ambiguity codes must be resolved by the caller (see
+    :func:`repro.sequence.fasta.read_fasta` for the N policy).
+    """
+    if isinstance(seq, np.ndarray):
+        codes = np.ascontiguousarray(seq, dtype=np.uint8)
+        if codes.size and codes.max(initial=0) > 3:
+            bad = int(codes.max())
+            raise InvalidSequenceError(f"code array contains value {bad} > 3")
+        return codes
+    if isinstance(seq, str):
+        raw = np.frombuffer(seq.encode("ascii", errors="replace"), dtype=np.uint8)
+    elif isinstance(seq, (bytes, bytearray)):
+        raw = np.frombuffer(bytes(seq), dtype=np.uint8)
+    else:
+        raise TypeError(f"cannot encode object of type {type(seq).__name__}")
+    codes = _ENC_LUT[raw]
+    if codes.size and codes.max(initial=0) == 255:
+        bad_pos = int(np.argmax(codes == 255))
+        bad_chr = chr(int(raw[bad_pos]))
+        raise InvalidSequenceError(
+            f"invalid base {bad_chr!r} at position {bad_pos} (alphabet is {ALPHABET})"
+        )
+    return codes
+
+
+def decode(codes: np.ndarray) -> str:
+    """Decode a 2-bit code array back into an upper-case DNA string."""
+    codes = np.asarray(codes, dtype=np.uint8)
+    if codes.size and codes.max(initial=0) > 3:
+        raise InvalidSequenceError(f"code array contains value {int(codes.max())} > 3")
+    return _DEC_LUT[codes].tobytes().decode("ascii")
+
+
+def is_valid_codes(codes: np.ndarray) -> bool:
+    """True if ``codes`` is a 1-D uint8 array with all values in [0, 3]."""
+    codes = np.asarray(codes)
+    return (
+        codes.ndim == 1
+        and codes.dtype == np.uint8
+        and (codes.size == 0 or int(codes.max(initial=0)) <= 3)
+    )
+
+
+def reverse_complement(codes: np.ndarray) -> np.ndarray:
+    """Reverse complement under the 2-bit code (A<->T, C<->G is ``3 - c``)."""
+    codes = np.ascontiguousarray(codes, dtype=np.uint8)
+    if codes.size and codes.max(initial=0) > 3:
+        raise InvalidSequenceError(f"code array contains value {int(codes.max())} > 3")
+    return (3 - codes[::-1]).astype(np.uint8)
+
+
+def random_dna(length: int, *, seed: int | None = None, p=None) -> np.ndarray:
+    """A uniform (or ``p``-weighted) random DNA code array of ``length``."""
+    if length < 0:
+        raise InvalidSequenceError(f"negative sequence length {length}")
+    rng = np.random.default_rng(seed)
+    return rng.choice(4, size=length, p=p).astype(np.uint8)

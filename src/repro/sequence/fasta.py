@@ -1,0 +1,123 @@
+"""Minimal FASTA reader/writer.
+
+The paper's tools consume chromosome FASTA files. Real chromosome files
+contain runs of ``N`` (unsequenced gaps); MEM tools conventionally treat a
+position containing ``N`` as matching nothing. Since our alphabet is strictly
+``ACGT``, :func:`read_fasta` offers three policies for non-ACGT letters:
+
+- ``"error"``  — raise (default; safest for synthetic data round trips),
+- ``"skip"``   — drop those positions (shifts coordinates; recorded in the
+  returned record's ``dropped`` count),
+- ``"random"`` — replace with deterministic pseudo-random bases (keeps
+  coordinates; introduces no long spurious matches because the replacement
+  is i.i.d. uniform).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import InvalidSequenceError
+from repro.sequence.alphabet import decode, encode
+
+_VALID = set(b"ACGTacgt")
+
+
+@dataclass
+class FastaRecord:
+    """One FASTA record: header (without ``>``), encoded codes, N policy info."""
+
+    header: str
+    codes: np.ndarray
+    dropped: int = 0
+
+    def __len__(self) -> int:
+        return int(self.codes.size)
+
+
+def _resolve_invalid(raw: bytes, policy: str, seed: int) -> tuple[np.ndarray, int]:
+    arr = np.frombuffer(raw, dtype=np.uint8)
+    valid_mask = np.isin(arr, np.frombuffer(b"ACGTacgt", dtype=np.uint8))
+    n_bad = int((~valid_mask).sum())
+    if n_bad == 0:
+        return encode(raw), 0
+    if policy == "error":
+        bad_pos = int(np.argmax(~valid_mask))
+        raise InvalidSequenceError(
+            f"non-ACGT letter {chr(int(arr[bad_pos]))!r} at position {bad_pos} "
+            f"(pass invalid='skip' or invalid='random' to read_fasta)"
+        )
+    if policy == "skip":
+        return encode(arr[valid_mask].tobytes()), n_bad
+    if policy == "random":
+        rng = np.random.default_rng(seed)
+        keep = arr.copy()
+        keep[~valid_mask] = np.frombuffer(b"ACGT", dtype=np.uint8)[
+            rng.integers(0, 4, size=n_bad)
+        ]
+        return encode(keep.tobytes()), n_bad
+    raise ValueError(f"unknown invalid-letter policy {policy!r}")
+
+
+def read_fasta(path_or_file, *, invalid: str = "error", seed: int = 0) -> list[FastaRecord]:
+    """Parse a FASTA file into a list of :class:`FastaRecord`.
+
+    ``path_or_file`` may be a filesystem path or a text/bytes file object.
+    ``invalid`` selects the non-ACGT policy (see module docstring).
+    """
+    if invalid not in ("error", "skip", "random"):
+        raise ValueError(f"unknown invalid-letter policy {invalid!r}")
+    if isinstance(path_or_file, (str, os.PathLike)):
+        with open(path_or_file, "rb") as fh:
+            return read_fasta(fh, invalid=invalid, seed=seed)
+    data = path_or_file.read()
+    if isinstance(data, str):
+        data = data.encode("ascii")
+    records: list[FastaRecord] = []
+    header: str | None = None
+    chunks: list[bytes] = []
+
+    def flush():
+        if header is None:
+            if chunks and b"".join(chunks).strip():
+                raise InvalidSequenceError("sequence data before any FASTA header")
+            return
+        codes, dropped = _resolve_invalid(b"".join(chunks), invalid, seed + len(records))
+        records.append(FastaRecord(header=header, codes=codes, dropped=dropped))
+
+    for line in data.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith(b">"):
+            flush()
+            header = line[1:].decode("ascii", errors="replace").strip()
+            chunks = []
+        else:
+            chunks.append(line)
+    flush()
+    if not records and header is None:
+        raise InvalidSequenceError("no FASTA records found")
+    return records
+
+
+def write_fasta(path_or_file, records, *, width: int = 70) -> None:
+    """Write ``(header, codes)`` pairs or :class:`FastaRecord` objects as FASTA."""
+    if isinstance(path_or_file, (str, os.PathLike)):
+        with open(path_or_file, "w", encoding="ascii") as fh:
+            write_fasta(fh, records, width=width)
+            return
+    fh = path_or_file
+    for rec in records:
+        if isinstance(rec, FastaRecord):
+            header, codes = rec.header, rec.codes
+        else:
+            header, codes = rec
+        fh.write(f">{header}\n")
+        text = decode(np.asarray(codes, dtype=np.uint8))
+        for i in range(0, len(text), width):
+            fh.write(text[i : i + width])
+            fh.write("\n")

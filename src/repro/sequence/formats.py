@@ -1,0 +1,206 @@
+"""Interchange formats: MUMmer match lists and PAF alignment records.
+
+Downstream tooling around the CPU baselines consumes two simple text
+formats, both supported here so the library drops into existing pipelines:
+
+- **MUMmer ``show-coords``-style match lines** — what ``mummer -maxmatch``
+  prints and what this package's CLI emits: one ``r q length`` triple per
+  line, 1-based, optionally grouped under ``> record`` headers.
+- **PAF** (the minimap2 pairwise-alignment format) — 12 mandatory columns;
+  we emit MEMs as exact-match records and
+  :class:`~repro.align.anchored.AnchoredAlignment` objects with their
+  CIGAR in the standard ``cg:Z:`` tag.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.errors import InvalidSequenceError
+from repro.types import MatchSet, triplets_from_tuples
+
+
+# -- MUMmer-style triplet lines -------------------------------------------------
+
+def write_mummer(matches, *, header: str | None = None) -> str:
+    """Render matches as 1-based ``r q length`` lines (MUMmer convention)."""
+    lines = []
+    if header is not None:
+        lines.append(f"> {header}")
+    for r, q, length in matches:
+        lines.append(f"{r + 1:>10} {q + 1:>10} {length:>10}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def read_mummer(text: str) -> dict[str | None, MatchSet]:
+    """Parse MUMmer-style output back into MatchSets, keyed by record header.
+
+    Matches before any ``>`` header are keyed by ``None``.
+    """
+    sections: dict[str | None, list[tuple[int, int, int]]] = {}
+    current: str | None = None
+    sections[current] = []
+    for lineno, raw in enumerate(text.splitlines(), 1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith(">"):
+            current = line[1:].strip()
+            sections.setdefault(current, [])
+            continue
+        parts = line.split()
+        if len(parts) != 3:
+            raise InvalidSequenceError(
+                f"line {lineno}: expected 'r q length', got {raw!r}"
+            )
+        try:
+            r, q, length = (int(p) for p in parts)
+        except ValueError:
+            raise InvalidSequenceError(
+                f"line {lineno}: non-integer field in {raw!r}"
+            ) from None
+        if r < 1 or q < 1 or length < 1:
+            raise InvalidSequenceError(
+                f"line {lineno}: MUMmer coordinates are 1-based positive"
+            )
+        sections[current].append((r - 1, q - 1, length))
+    return {
+        key: MatchSet(triplets_from_tuples(vals))
+        for key, vals in sections.items()
+        if vals or key is None
+    }
+
+
+# -- PAF -------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class PafRecord:
+    """One PAF line (mandatory columns + optional tags)."""
+
+    query_name: str
+    query_len: int
+    query_start: int
+    query_end: int
+    strand: str
+    target_name: str
+    target_len: int
+    target_start: int
+    target_end: int
+    n_match: int
+    alignment_len: int
+    mapq: int
+    tags: tuple[str, ...] = ()
+
+    def line(self) -> str:
+        fields = [
+            self.query_name, self.query_len, self.query_start, self.query_end,
+            self.strand, self.target_name, self.target_len,
+            self.target_start, self.target_end,
+            self.n_match, self.alignment_len, self.mapq,
+        ]
+        return "\t".join(str(f) for f in fields + list(self.tags))
+
+
+def mems_to_paf(
+    mems,
+    *,
+    query_name: str,
+    query_len: int,
+    target_name: str,
+    target_len: int,
+    strand: str = "+",
+) -> list[PafRecord]:
+    """Each MEM as an exact-match PAF record (all columns consistent)."""
+    if strand not in "+-":
+        raise InvalidSequenceError(f"strand must be '+' or '-', got {strand!r}")
+    out = []
+    for r, q, length in mems:
+        out.append(
+            PafRecord(
+                query_name=query_name,
+                query_len=query_len,
+                query_start=q,
+                query_end=q + length,
+                strand=strand,
+                target_name=target_name,
+                target_len=target_len,
+                target_start=r,
+                target_end=r + length,
+                n_match=length,
+                alignment_len=length,
+                mapq=255,
+                tags=("tp:A:P", "cg:Z:%dM" % length),
+            )
+        )
+    return out
+
+
+def alignment_to_paf(
+    alignment,
+    *,
+    query_name: str,
+    query_len: int,
+    target_name: str,
+    target_len: int,
+) -> PafRecord:
+    """An :class:`AnchoredAlignment` as one PAF record with its CIGAR tag."""
+    cols = (
+        alignment.n_match + alignment.n_mismatch
+        + alignment.n_insert + alignment.n_delete
+    )
+    return PafRecord(
+        query_name=query_name,
+        query_len=query_len,
+        query_start=alignment.q_start,
+        query_end=alignment.q_end,
+        strand="+",
+        target_name=target_name,
+        target_len=target_len,
+        target_start=alignment.r_start,
+        target_end=alignment.r_end,
+        n_match=alignment.n_match,
+        alignment_len=cols,
+        mapq=60,
+        tags=("tp:A:P", f"cg:Z:{alignment.cigar_string}"),
+    )
+
+
+def write_paf(records: Iterable[PafRecord]) -> str:
+    return "".join(rec.line() + "\n" for rec in records)
+
+
+def read_paf(text: str) -> list[PafRecord]:
+    """Parse PAF lines (mandatory columns; extra columns kept as tags)."""
+    out = []
+    for lineno, raw in enumerate(text.splitlines(), 1):
+        if not raw.strip():
+            continue
+        parts = raw.split("\t")
+        if len(parts) < 12:
+            raise InvalidSequenceError(
+                f"line {lineno}: PAF needs 12 columns, got {len(parts)}"
+            )
+        try:
+            out.append(
+                PafRecord(
+                    query_name=parts[0],
+                    query_len=int(parts[1]),
+                    query_start=int(parts[2]),
+                    query_end=int(parts[3]),
+                    strand=parts[4],
+                    target_name=parts[5],
+                    target_len=int(parts[6]),
+                    target_start=int(parts[7]),
+                    target_end=int(parts[8]),
+                    n_match=int(parts[9]),
+                    alignment_len=int(parts[10]),
+                    mapq=int(parts[11]),
+                    tags=tuple(parts[12:]),
+                )
+            )
+        except ValueError:
+            raise InvalidSequenceError(
+                f"line {lineno}: malformed PAF numeric field"
+            ) from None
+    return out

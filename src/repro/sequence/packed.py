@@ -1,0 +1,174 @@
+"""2-bit packed sequence storage and vectorized k-mer extraction.
+
+The paper stores sequences at 2 bits/base (§IV). :class:`PackedSequence`
+provides that storage plus the two operations the matcher pipeline needs in
+bulk:
+
+- :func:`kmer_codes`: the integer value of the ``ℓs``-mer starting at every
+  position, computed with a vectorized Horner scan (this is what both the
+  index construction of Algorithm 1 and the per-thread query-seed lookups
+  consume).
+- :meth:`PackedSequence.limbs`: 32-base ``uint64`` windows used by the
+  suffix-array baselines for fast batched suffix comparison.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import InvalidSequenceError
+from repro.sequence.alphabet import decode, encode
+
+#: Number of bases packed per uint64 limb (2 bits each).
+BASES_PER_LIMB = 32
+
+
+def pack_bits(codes: np.ndarray) -> np.ndarray:
+    """Pack a 2-bit code array into a ``uint8`` buffer, 4 bases per byte.
+
+    Base ``i`` occupies bits ``2*(i % 4) .. 2*(i % 4)+1`` of byte ``i // 4``
+    (little-endian within the byte). The final partial byte is zero-padded.
+    """
+    codes = np.ascontiguousarray(codes, dtype=np.uint8)
+    n = codes.size
+    padded = np.zeros((n + 3) // 4 * 4, dtype=np.uint8)
+    padded[:n] = codes
+    quads = padded.reshape(-1, 4)
+    return (
+        quads[:, 0]
+        | (quads[:, 1] << 2)
+        | (quads[:, 2] << 4)
+        | (quads[:, 3] << 6)
+    ).astype(np.uint8)
+
+
+def unpack_bits(buf: np.ndarray, n: int) -> np.ndarray:
+    """Inverse of :func:`pack_bits`: recover the first ``n`` base codes."""
+    buf = np.asarray(buf, dtype=np.uint8)
+    if n > buf.size * 4:
+        raise InvalidSequenceError(f"cannot unpack {n} bases from {buf.size} bytes")
+    out = np.empty(buf.size * 4, dtype=np.uint8)
+    out[0::4] = buf & 0b11
+    out[1::4] = (buf >> 2) & 0b11
+    out[2::4] = (buf >> 4) & 0b11
+    out[3::4] = (buf >> 6) & 0b11
+    return out[:n]
+
+
+def kmer_codes(codes: np.ndarray, k: int) -> np.ndarray:
+    """Integer value of the ``k``-mer starting at each position.
+
+    Returns an ``int64`` array of length ``len(codes) - k + 1`` where entry
+    ``i`` is ``sum_j codes[i+j] * 4**(k-1-j)`` — i.e. the big-endian base-4
+    value of ``codes[i:i+k]``, matching the seed integers of §III-A.
+
+    Computed with a rolling update (one vectorized pass), so it costs
+    ``O(n)`` regardless of ``k``.
+    """
+    codes = np.ascontiguousarray(codes, dtype=np.uint8)
+    n = codes.size
+    if k <= 0:
+        raise InvalidSequenceError(f"k-mer length must be positive, got {k}")
+    if k > 31:
+        raise InvalidSequenceError(f"k-mer length {k} exceeds int64 capacity (31)")
+    if n < k:
+        return np.empty(0, dtype=np.int64)
+    c = codes.astype(np.int64)
+    # Horner for the first window, then roll: out[i+1] = (out[i] - c[i]*4^(k-1))*4 + c[i+k]
+    # Vectorized equivalent: cumulative weighted sum differences.
+    weights = 4 ** np.arange(k - 1, -1, -1, dtype=np.int64)
+    # Sliding dot product via cumsum of c * 4^{-(i)} would lose precision;
+    # use stride tricks instead: for k <= 31 and n up to tens of millions the
+    # windowed matmul is memory-light because sliding_window_view is a view.
+    windows = np.lib.stride_tricks.sliding_window_view(c, k)
+    return windows @ weights
+
+
+class PackedSequence:
+    """A DNA sequence stored at 2 bits per base.
+
+    Construction accepts a string, bytes, or a code array. The unpacked code
+    array is materialized lazily and cached, because the matcher pipeline
+    works on codes while memory accounting (the GPU device budget) is charged
+    for the packed representation only — exactly the paper's setting.
+    """
+
+    __slots__ = ("_packed", "_n", "_codes", "name")
+
+    def __init__(self, seq, *, name: str = ""):
+        codes = encode(seq) if not isinstance(seq, PackedSequence) else seq.codes()
+        self._n = int(codes.size)
+        self._packed = pack_bits(codes)
+        self._codes: np.ndarray | None = np.ascontiguousarray(codes, dtype=np.uint8)
+        self.name = name
+
+    # -- basic container protocol -------------------------------------------------
+    def __len__(self) -> int:
+        return self._n
+
+    def __getitem__(self, item):
+        if isinstance(item, slice):
+            return PackedSequence(self.codes()[item], name=self.name)
+        return int(self.codes()[item])
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, PackedSequence):
+            return self._n == other._n and np.array_equal(self.codes(), other.codes())
+        return NotImplemented
+
+    def __hash__(self):  # pragma: no cover
+        raise TypeError("PackedSequence is unhashable")
+
+    def __repr__(self) -> str:
+        label = f" {self.name!r}" if self.name else ""
+        return f"PackedSequence(n={self._n}{label})"
+
+    # -- views --------------------------------------------------------------------
+    def codes(self) -> np.ndarray:
+        """The unpacked ``uint8`` code array (cached)."""
+        if self._codes is None:
+            self._codes = unpack_bits(self._packed, self._n)
+        return self._codes
+
+    def drop_code_cache(self) -> None:
+        """Release the unpacked cache (keeps only the 2-bit buffer)."""
+        self._codes = None
+
+    @property
+    def packed(self) -> np.ndarray:
+        """The raw packed ``uint8`` buffer (4 bases/byte)."""
+        return self._packed
+
+    @property
+    def nbytes_packed(self) -> int:
+        """Memory footprint of the packed representation, in bytes."""
+        return int(self._packed.nbytes)
+
+    def to_string(self) -> str:
+        """Decode back to an ``ACGT`` string."""
+        return decode(self.codes())
+
+    # -- bulk extraction ----------------------------------------------------------
+    def kmers(self, k: int) -> np.ndarray:
+        """Integer seed values at every start position (see :func:`kmer_codes`)."""
+        return kmer_codes(self.codes(), k)
+
+    def limbs(self, positions: np.ndarray, n_limbs: int) -> np.ndarray:
+        """``uint64`` big-endian 32-base windows for batched comparison.
+
+        ``out[i, j]`` packs bases ``positions[i] + 32*j .. + 32*(j+1) - 1``;
+        windows running past the end are zero-padded, and comparisons remain
+        correct for suffix *ordering* as long as ties are broken by suffix
+        length (shorter suffix is smaller), which callers must handle.
+        """
+        positions = np.asarray(positions, dtype=np.int64)
+        codes = self.codes()
+        padded = np.zeros(self._n + n_limbs * BASES_PER_LIMB, dtype=np.uint64)
+        padded[: self._n] = codes
+        out = np.zeros((positions.size, n_limbs), dtype=np.uint64)
+        shifts = np.arange(BASES_PER_LIMB - 1, -1, -1, dtype=np.uint64) * np.uint64(2)
+        for j in range(n_limbs):
+            base = positions + j * BASES_PER_LIMB
+            window = padded[base[:, None] + np.arange(BASES_PER_LIMB)]
+            out[:, j] = (window << shifts).sum(axis=1, dtype=np.uint64)
+        return out

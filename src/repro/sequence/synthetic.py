@@ -1,0 +1,233 @@
+"""Synthetic genome generation.
+
+The paper evaluates on real chromosomes (Table II). We cannot ship those, so
+this module builds synthetic stand-ins that preserve the three properties the
+GPUMEM evaluation actually depends on:
+
+1. **Length** — controlled exactly (datasets.py keeps the paper's length
+   ratios at 1:100 scale).
+2. **Homology structure** — the number and length distribution of exact
+   matches between a (reference, query) pair is controlled by planting
+   diverged segmental copies (:func:`plant_homology`), the synthetic analogue
+   of evolutionary conservation between e.g. mouse chr1 and human chr2.
+3. **Seed-occurrence skew** — the heavy-tailed "some seeds occur thousands of
+   times" distribution (paper Fig. 6) that motivates the load-balancing
+   heuristic, obtained by planting repeat families
+   (:func:`plant_repeats`) and by locally-correlated base composition
+   (:func:`markov_dna`).
+
+All generation is vectorized and deterministic given a seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import InvalidSequenceError
+from repro.sequence.alphabet import random_dna
+
+
+def markov_dna(
+    length: int,
+    *,
+    seed: int | None = None,
+    composition=(0.30, 0.20, 0.20, 0.30),
+    self_transition: float = 0.35,
+) -> np.ndarray:
+    """Locally-correlated DNA via a run-length Markov formulation.
+
+    Emits runs of identical letters whose lengths are geometric with
+    continuation probability ``self_transition`` and whose letters are drawn
+    from ``composition``. This is the run-length formulation of a first-order
+    Markov chain whose self-transition probability is ``self_transition`` and
+    whose off-diagonal transitions are proportional to the target
+    composition — it produces the homopolymer runs and composition bias of
+    real chromosomes while staying fully vectorized.
+    """
+    if length < 0:
+        raise InvalidSequenceError(f"negative length {length}")
+    if not 0.0 <= self_transition < 1.0:
+        raise InvalidSequenceError(
+            f"self_transition must be in [0, 1), got {self_transition}"
+        )
+    if length == 0:
+        return np.empty(0, dtype=np.uint8)
+    rng = np.random.default_rng(seed)
+    comp = np.asarray(composition, dtype=np.float64)
+    if comp.shape != (4,) or not np.isclose(comp.sum(), 1.0):
+        raise InvalidSequenceError("composition must be 4 probabilities summing to 1")
+    # Expected run length is 1/(1-s); oversample runs, then trim.
+    mean_run = 1.0 / (1.0 - self_transition)
+    n_runs = int(length / mean_run * 1.3) + 16
+    out_parts = []
+    produced = 0
+    while produced < length:
+        letters = rng.choice(4, size=n_runs, p=comp).astype(np.uint8)
+        runs = rng.geometric(1.0 - self_transition, size=n_runs)
+        seqs = np.repeat(letters, runs)
+        out_parts.append(seqs)
+        produced += seqs.size
+    return np.concatenate(out_parts)[:length]
+
+
+def mutate(
+    codes: np.ndarray,
+    *,
+    rate: float,
+    seed: int | None = None,
+    indel_rate: float = 0.0,
+    max_indel: int = 3,
+) -> np.ndarray:
+    """Apply point substitutions (and optionally short indels) to a sequence.
+
+    Substitutions always change the base (drawn uniformly from the other
+    three letters), so ``rate`` is the true per-base divergence. Indels are
+    applied after substitutions; each indel site deletes or inserts
+    ``1..max_indel`` bases with equal probability.
+    """
+    codes = np.ascontiguousarray(codes, dtype=np.uint8)
+    if not 0.0 <= rate <= 1.0:
+        raise InvalidSequenceError(f"mutation rate must be in [0, 1], got {rate}")
+    if not 0.0 <= indel_rate <= 1.0:
+        raise InvalidSequenceError(f"indel rate must be in [0, 1], got {indel_rate}")
+    rng = np.random.default_rng(seed)
+    out = codes.copy()
+    n = out.size
+    if n == 0:
+        return out
+    if rate > 0.0:
+        hits = np.nonzero(rng.random(n) < rate)[0]
+        # add 1..3 (mod 4) to guarantee a *different* base
+        out[hits] = (out[hits] + rng.integers(1, 4, size=hits.size)) % 4
+    if indel_rate > 0.0:
+        sites = np.nonzero(rng.random(n) < indel_rate)[0]
+        if sites.size:
+            pieces = []
+            prev = 0
+            for s in sites:
+                pieces.append(out[prev:s])
+                size = int(rng.integers(1, max_indel + 1))
+                if rng.random() < 0.5:  # deletion
+                    prev = min(n, s + size)
+                else:  # insertion
+                    pieces.append(random_dna(size, seed=int(rng.integers(2**31))))
+                    prev = s
+            pieces.append(out[prev:])
+            out = np.concatenate(pieces).astype(np.uint8)
+    return out
+
+
+def plant_repeats(
+    codes: np.ndarray,
+    *,
+    seed: int | None = None,
+    n_families: int = 6,
+    family_length: tuple[int, int] = (80, 400),
+    copies_per_family: tuple[int, int] = (10, 200),
+    copy_divergence: float = 0.03,
+) -> np.ndarray:
+    """Overwrite random positions with diverged copies of repeat consensi.
+
+    This is what creates the heavy-tailed seed-occurrence distribution of the
+    paper's Fig. 6: seeds inside an abundant repeat family occur at hundreds
+    of reference locations while most seeds occur once.
+    """
+    out = np.ascontiguousarray(codes, dtype=np.uint8).copy()
+    n = out.size
+    rng = np.random.default_rng(seed)
+    for fam in range(n_families):
+        flen = int(rng.integers(family_length[0], family_length[1] + 1))
+        if flen >= n:
+            continue
+        consensus = random_dna(flen, seed=int(rng.integers(2**31)))
+        n_copies = int(rng.integers(copies_per_family[0], copies_per_family[1] + 1))
+        starts = rng.integers(0, n - flen, size=n_copies)
+        for s in starts:
+            copy = mutate(
+                consensus, rate=copy_divergence, seed=int(rng.integers(2**31))
+            )[:flen]
+            out[s : s + copy.size] = copy
+    return out
+
+
+def plant_homology(
+    reference: np.ndarray,
+    query_length: int,
+    *,
+    seed: int | None = None,
+    coverage: float = 0.5,
+    segment_length: tuple[int, int] = (500, 5000),
+    divergence: float = 0.05,
+    indel_rate: float = 0.0005,
+) -> np.ndarray:
+    """Build a query sharing diverged segments with ``reference``.
+
+    Roughly ``coverage`` of the query is made of mutated copies of random
+    reference segments (possibly reverse order of placement, as in real
+    rearrangements); the remainder is novel sequence with the same local
+    statistics. The exact-match length distribution between the pair is then
+    governed by ``divergence``: expected exact-match length between
+    homologous segments is ~``1/divergence`` bases.
+    """
+    reference = np.ascontiguousarray(reference, dtype=np.uint8)
+    if query_length < 0:
+        raise InvalidSequenceError(f"negative query length {query_length}")
+    if not 0.0 <= coverage <= 1.0:
+        raise InvalidSequenceError(f"coverage must be in [0, 1], got {coverage}")
+    rng = np.random.default_rng(seed)
+    n_ref = reference.size
+    pieces: list[np.ndarray] = []
+    produced = 0
+    while produced < query_length:
+        want_homolog = rng.random() < coverage and n_ref > segment_length[0]
+        seg_len = int(rng.integers(segment_length[0], segment_length[1] + 1))
+        seg_len = min(seg_len, query_length - produced + segment_length[0])
+        if want_homolog:
+            start = int(rng.integers(0, max(1, n_ref - seg_len)))
+            seg = reference[start : start + seg_len]
+            seg = mutate(
+                seg,
+                rate=divergence,
+                indel_rate=indel_rate,
+                seed=int(rng.integers(2**31)),
+            )
+        else:
+            seg = markov_dna(seg_len, seed=int(rng.integers(2**31)))
+        pieces.append(seg)
+        produced += seg.size
+    if not pieces:
+        return np.empty(0, dtype=np.uint8)
+    return np.concatenate(pieces)[:query_length].astype(np.uint8)
+
+
+@dataclass(frozen=True)
+class SyntheticGenomeSpec:
+    """Recipe for one synthetic chromosome.
+
+    ``repeat_kwargs`` feed :func:`plant_repeats`; ``markov_kwargs`` feed
+    :func:`markov_dna`. Generation is deterministic in ``seed``.
+    """
+
+    length: int
+    seed: int
+    markov_kwargs: dict = field(default_factory=dict)
+    repeat_kwargs: dict = field(default_factory=dict)
+
+    def generate(self) -> np.ndarray:
+        base = markov_dna(self.length, seed=self.seed, **self.markov_kwargs)
+        return plant_repeats(base, seed=self.seed + 1, **self.repeat_kwargs)
+
+
+def synthesize_pair(
+    ref_spec: SyntheticGenomeSpec,
+    query_length: int,
+    *,
+    seed: int,
+    **homology_kwargs,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Generate a (reference, query) pair with planted homology."""
+    ref = ref_spec.generate()
+    qry = plant_homology(ref, query_length, seed=seed, **homology_kwargs)
+    return ref, qry

@@ -1,0 +1,146 @@
+"""Tests for affine-gap (Gotoh) and banded alignment."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.align.affine import banded_align, global_align_affine
+from repro.align.pairwise import global_align
+from repro.errors import InvalidParameterError
+
+from tests.conftest import dna
+
+
+def naive_affine_score(a, b, match=1, mismatch=-1, gap_open=-3, gap_extend=-1):
+    """Reference Gotoh DP (dictionary-of-states, no vectorization)."""
+    NEG = -(10**9)
+    n, m = len(a), len(b)
+    M = [[NEG] * (m + 1) for _ in range(n + 1)]
+    D = [[NEG] * (m + 1) for _ in range(n + 1)]
+    I = [[NEG] * (m + 1) for _ in range(n + 1)]
+    M[0][0] = 0
+    for i in range(1, n + 1):
+        D[i][0] = gap_open + i * gap_extend
+    for j in range(1, m + 1):
+        I[0][j] = gap_open + j * gap_extend
+    for i in range(1, n + 1):
+        for j in range(1, m + 1):
+            s = match if a[i - 1] == b[j - 1] else mismatch
+            M[i][j] = max(M[i - 1][j - 1], D[i - 1][j - 1], I[i - 1][j - 1]) + s
+            D[i][j] = max(
+                M[i - 1][j] + gap_open + gap_extend,
+                D[i - 1][j] + gap_extend,
+                I[i - 1][j] + gap_open + gap_extend,
+            )
+            I[i][j] = max(
+                M[i][j - 1] + gap_open + gap_extend,
+                I[i][j - 1] + gap_extend,
+                D[i][j - 1] + gap_open + gap_extend,
+            )
+    return max(M[n][m], D[n][m], I[n][m])
+
+
+class TestGlobalAlignAffine:
+    def test_identical(self):
+        a = np.array([0, 1, 2, 3], dtype=np.uint8)
+        res = global_align_affine(a, a.copy())
+        assert res.score == 4 and res.cigar_string == "4M"
+
+    def test_long_gap_cheaper_than_linear(self):
+        # a 6-base deletion: affine charges open once
+        a = np.concatenate([np.arange(4), np.full(6, 3), np.arange(4)]).astype(np.uint8) % 4
+        b = np.concatenate([np.arange(4), np.arange(4)]).astype(np.uint8) % 4
+        res = global_align_affine(a, b, gap_open=-3, gap_extend=-1)
+        assert res.n_delete >= 6
+        # affine score: 8 matches - (3 + 6) = -1-ish; linear gap=-2 gives 8-12
+        assert res.score > global_align(a, b, gap=-2).score
+
+    def test_one_empty(self):
+        a = np.empty(0, dtype=np.uint8)
+        b = np.array([1, 2, 3], dtype=np.uint8)
+        res = global_align_affine(a, b, gap_open=-3, gap_extend=-1)
+        assert res.score == -6 and res.cigar_string == "3I"
+
+    def test_cigar_consumption(self):
+        rng = np.random.default_rng(0)
+        a = rng.integers(0, 4, 25).astype(np.uint8)
+        b = rng.integers(0, 4, 31).astype(np.uint8)
+        res = global_align_affine(a, b)
+        r_used = sum(r for op, r in res.cigar if op in "MD")
+        q_used = sum(r for op, r in res.cigar if op in "MI")
+        assert (r_used, q_used) == (a.size, b.size)
+
+    @settings(max_examples=40, deadline=None)
+    @given(dna(max_size=18, alphabet=3), dna(max_size=18, alphabet=3),
+           st.integers(-4, -1), st.integers(-2, -1))
+    def test_score_matches_naive_gotoh(self, a, b, gap_open, gap_extend):
+        got = global_align_affine(a, b, gap_open=gap_open, gap_extend=gap_extend)
+        assert got.score == naive_affine_score(
+            a, b, gap_open=gap_open, gap_extend=gap_extend
+        )
+
+    @settings(max_examples=25, deadline=None)
+    @given(dna(max_size=16, alphabet=2), dna(max_size=16, alphabet=2))
+    def test_traceback_score_consistent(self, a, b):
+        """Replaying the CIGAR must reproduce the reported score."""
+        res = global_align_affine(a, b, gap_open=-3, gap_extend=-1)
+        score = res.n_match * 1 + res.n_mismatch * -1
+        for op, run in res.cigar:
+            if op in "ID":
+                score += -3 + run * -1
+        assert score == res.score
+
+    def test_guards(self):
+        a = np.zeros(3, dtype=np.uint8)
+        with pytest.raises(InvalidParameterError):
+            global_align_affine(a, a, gap_open=1)
+
+
+class TestBandedAlign:
+    def test_exact_within_band(self):
+        rng = np.random.default_rng(1)
+        a = rng.integers(0, 4, 60).astype(np.uint8)
+        b = a.copy()
+        b[30] = (b[30] + 1) % 4
+        banded = banded_align(a, b, band=3)
+        full = global_align(a, b)
+        assert banded.score == full.score
+        assert banded.cigar == full.cigar
+
+    @settings(max_examples=30, deadline=None)
+    @given(dna(min_size=1, max_size=40, alphabet=3))
+    def test_small_indels_recovered_exactly(self, a):
+        # drop one base -> optimal path within band 2
+        if a.size < 3:
+            return
+        b = np.delete(a, a.size // 2)
+        banded = banded_align(a, b, band=2)
+        full = global_align(a, b)
+        assert banded.score == full.score
+
+    def test_band_too_narrow_for_corner(self):
+        a = np.zeros(10, dtype=np.uint8)
+        b = np.zeros(2, dtype=np.uint8)
+        with pytest.raises(InvalidParameterError, match="corner"):
+            banded_align(a, b, band=3)
+
+    def test_band_zero_pure_diagonal(self):
+        a = np.array([0, 1, 2, 0], dtype=np.uint8)
+        b = np.array([0, 1, 3, 0], dtype=np.uint8)
+        res = banded_align(a, b, band=0)
+        assert res.cigar_string == "4M" and res.n_mismatch == 1
+
+    def test_consumption(self):
+        rng = np.random.default_rng(2)
+        a = rng.integers(0, 4, 50).astype(np.uint8)
+        b = np.insert(a, 10, rng.integers(0, 4, 3).astype(np.uint8))
+        res = banded_align(a, b, band=6)
+        r_used = sum(r for op, r in res.cigar if op in "MD")
+        q_used = sum(r for op, r in res.cigar if op in "MI")
+        assert (r_used, q_used) == (a.size, b.size)
+
+    def test_empty_sides(self):
+        a = np.empty(0, dtype=np.uint8)
+        b = np.array([1, 2], dtype=np.uint8)
+        res = banded_align(a, b, band=2)
+        assert res.cigar_string == "2I"

@@ -1,0 +1,118 @@
+"""Tests for repro.align.anchored (the full MEM->chain->align pipeline)."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.align.anchored import align_from_anchors
+from repro.core.chaining import Chain, chain_anchors
+from repro.errors import InvalidParameterError
+from repro.sequence.synthetic import markov_dna, mutate
+
+
+class TestAlignFromAnchors:
+    def test_single_anchor_pure_match(self):
+        R = np.array([0, 1, 2, 3], dtype=np.uint8)
+        chain = Chain(anchors=((0, 0, 4),), score=4)
+        aln = align_from_anchors(R, R.copy(), chain)
+        assert aln.cigar_string == "4M"
+        assert aln.identity == 1.0
+        assert aln.score == 4
+        assert aln.n_anchors == 1
+
+    def test_gap_between_anchors_aligned(self):
+        # R: AAAA T CCCC ; Q: AAAA G CCCC — anchors on the A and C runs
+        R = np.array([0] * 4 + [3] + [1] * 4, dtype=np.uint8)
+        Q = np.array([0] * 4 + [2] + [1] * 4, dtype=np.uint8)
+        chain = Chain(anchors=((0, 0, 4), (5, 5, 4)), score=8)
+        aln = align_from_anchors(R, Q, chain)
+        assert aln.n_match == 8 and aln.n_mismatch == 1
+        assert aln.cigar_string == "9M"
+        assert aln.consumes() == (9, 9)
+
+    def test_indel_gap(self):
+        R = np.array([0] * 4 + [1] * 4, dtype=np.uint8)
+        Q = np.array([0] * 4 + [3, 3] + [1] * 4, dtype=np.uint8)
+        chain = Chain(anchors=((0, 0, 4), (4, 6, 4)), score=8)
+        aln = align_from_anchors(R, Q, chain)
+        assert aln.n_insert == 2
+        assert aln.consumes() == (8, 10)
+
+    def test_rejects_empty_chain(self):
+        with pytest.raises(InvalidParameterError):
+            align_from_anchors(np.zeros(3, np.uint8), np.zeros(3, np.uint8),
+                               Chain(anchors=(), score=0))
+
+    def test_rejects_overlapping_chain(self):
+        R = np.zeros(10, dtype=np.uint8)
+        bad = Chain(anchors=((0, 0, 5), (3, 3, 5)), score=10)
+        with pytest.raises(InvalidParameterError):
+            align_from_anchors(R, R.copy(), bad)
+
+    def test_end_to_end_mem_chain_align(self):
+        """The paper's full pipeline: MEM anchors -> chain -> alignment."""
+        rng = np.random.default_rng(7)
+        R = markov_dna(4000, seed=7)
+        Q = mutate(R, rate=0.03, indel_rate=0.002, seed=8)
+        mems = repro.find_mems(R, Q, min_length=15, seed_length=8)
+        chain = chain_anchors(mems)
+        aln = align_from_anchors(R, Q, chain)
+        # 3% divergence -> identity in the mid-90s over the chained span
+        assert aln.identity > 0.90
+        r_used, q_used = aln.consumes()
+        assert r_used == aln.r_end - aln.r_start
+        assert q_used == aln.q_end - aln.q_start
+        assert aln.n_match >= chain.score  # anchors alone give that many
+
+    def test_affine_gap_model(self):
+        R = np.array([0] * 4 + [1] * 4, dtype=np.uint8)
+        Q = np.array([0] * 4 + [3, 3, 3, 3] + [1] * 4, dtype=np.uint8)
+        chain = Chain(anchors=((0, 0, 4), (4, 8, 4)), score=8)
+        linear = align_from_anchors(R, Q, chain, gap=-2)
+        affine = align_from_anchors(R, Q, chain, gap_model="affine",
+                                    gap_open=-3, gap_extend=-1)
+        assert affine.n_insert == linear.n_insert == 4
+        assert affine.score > linear.score  # one open beats 4x linear
+
+    def test_bad_gap_model(self):
+        chain = Chain(anchors=((0, 0, 2),), score=2)
+        R = np.zeros(4, dtype=np.uint8)
+        with pytest.raises(InvalidParameterError):
+            align_from_anchors(R, R.copy(), chain, gap_model="quadratic")
+
+    def test_long_gap_uses_band_and_stays_exact(self):
+        # two anchors separated by a 600-base near-diagonal gap
+        rng = np.random.default_rng(13)
+        mid_r = rng.integers(0, 4, 600).astype(np.uint8)
+        mid_q = mid_r.copy()
+        mid_q[100] = (mid_q[100] + 1) % 4
+        mid_q = np.delete(mid_q, 300)
+        A = np.array([0, 1, 2, 3] * 3, dtype=np.uint8)
+        R = np.concatenate([A, mid_r, A])
+        Q = np.concatenate([A, mid_q, A])
+        chain = Chain(
+            anchors=((0, 0, 12), (12 + 600, 12 + mid_q.size, 12)), score=24
+        )
+        aln = align_from_anchors(R, Q, chain)
+        assert aln.n_delete == 1 and aln.n_mismatch <= 2
+        r_used, q_used = aln.consumes()
+        assert r_used == R.size and q_used == Q.size
+
+    def test_alignment_reconstructs_sequences(self):
+        rng = np.random.default_rng(9)
+        R = markov_dna(1500, seed=9)
+        Q = mutate(R, rate=0.05, indel_rate=0.004, seed=10)
+        mems = repro.find_mems(R, Q, min_length=12, seed_length=6)
+        chain = chain_anchors(mems)
+        aln = align_from_anchors(R, Q, chain)
+        # replay the CIGAR over both sequences
+        i, j = aln.r_start, aln.q_start
+        for op, run in aln.cigar:
+            if op == "M":
+                i += run
+                j += run
+            elif op == "D":
+                i += run
+            else:
+                j += run
+        assert (i, j) == (aln.r_end, aln.q_end)

@@ -1,0 +1,137 @@
+"""Tests for repro.align.pairwise."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.align.pairwise import AlignResult, edit_distance, global_align
+from repro.errors import InvalidParameterError
+
+from tests.conftest import dna
+
+
+def naive_nw_score(a, b, match=1, mismatch=-1, gap=-2):
+    n, m = len(a), len(b)
+    dp = [[0] * (m + 1) for _ in range(n + 1)]
+    for i in range(1, n + 1):
+        dp[i][0] = i * gap
+    for j in range(1, m + 1):
+        dp[0][j] = j * gap
+    for i in range(1, n + 1):
+        for j in range(1, m + 1):
+            s = match if a[i - 1] == b[j - 1] else mismatch
+            dp[i][j] = max(dp[i - 1][j - 1] + s, dp[i - 1][j] + gap,
+                           dp[i][j - 1] + gap)
+    return dp[n][m]
+
+
+def naive_edit(a, b):
+    n, m = len(a), len(b)
+    dp = [[0] * (m + 1) for _ in range(n + 1)]
+    for i in range(n + 1):
+        dp[i][0] = i
+    for j in range(m + 1):
+        dp[0][j] = j
+    for i in range(1, n + 1):
+        for j in range(1, m + 1):
+            dp[i][j] = min(
+                dp[i - 1][j - 1] + (a[i - 1] != b[j - 1]),
+                dp[i - 1][j] + 1,
+                dp[i][j - 1] + 1,
+            )
+    return dp[n][m]
+
+
+class TestGlobalAlign:
+    def test_identical(self):
+        a = np.array([0, 1, 2, 3], dtype=np.uint8)
+        res = global_align(a, a.copy())
+        assert res.score == 4
+        assert res.cigar_string == "4M"
+        assert res.identity == 1.0
+        assert res.n_mismatch == 0
+
+    def test_single_mismatch(self):
+        a = np.array([0, 1, 2], dtype=np.uint8)
+        b = np.array([0, 3, 2], dtype=np.uint8)
+        res = global_align(a, b)
+        assert res.score == 1  # 2 match - 1 mismatch
+        assert res.n_mismatch == 1
+
+    def test_pure_insertion(self):
+        a = np.array([0, 1], dtype=np.uint8)
+        b = np.array([0, 2, 1], dtype=np.uint8)
+        res = global_align(a, b)
+        assert res.n_insert == 1
+        assert res.score == 2 * 1 - 2
+
+    def test_pure_deletion(self):
+        a = np.array([0, 2, 1], dtype=np.uint8)
+        b = np.array([0, 1], dtype=np.uint8)
+        res = global_align(a, b)
+        assert res.n_delete == 1
+
+    def test_empty_vs_something(self):
+        a = np.empty(0, dtype=np.uint8)
+        b = np.array([1, 2], dtype=np.uint8)
+        res = global_align(a, b)
+        assert res.score == -4
+        assert res.cigar_string == "2I"
+        res = global_align(b, a)
+        assert res.cigar_string == "2D"
+
+    def test_both_empty(self):
+        a = np.empty(0, dtype=np.uint8)
+        res = global_align(a, a)
+        assert res.score == 0 and res.cigar == ()
+
+    def test_cigar_consumption(self):
+        rng = np.random.default_rng(0)
+        a = rng.integers(0, 4, 30).astype(np.uint8)
+        b = rng.integers(0, 4, 25).astype(np.uint8)
+        res = global_align(a, b)
+        consumed_r = sum(r for op, r in res.cigar if op in "MD")
+        consumed_q = sum(r for op, r in res.cigar if op in "MI")
+        assert consumed_r == a.size and consumed_q == b.size
+
+    @settings(max_examples=40, deadline=None)
+    @given(dna(max_size=25, alphabet=3), dna(max_size=25, alphabet=3))
+    def test_score_matches_naive(self, a, b):
+        assert global_align(a, b).score == naive_nw_score(a, b)
+
+    @settings(max_examples=25, deadline=None)
+    @given(dna(max_size=20), dna(max_size=20), st.integers(-3, -1))
+    def test_score_matches_naive_other_gaps(self, a, b, gap):
+        got = global_align(a, b, gap=gap)
+        assert got.score == naive_nw_score(a, b, gap=gap)
+
+    def test_guards(self):
+        big = np.zeros(10_000, dtype=np.uint8)
+        with pytest.raises(InvalidParameterError):
+            global_align(big, big)
+        with pytest.raises(InvalidParameterError):
+            global_align(big[:2], big[:2], gap=1)
+
+
+class TestEditDistance:
+    def test_known(self):
+        a = np.array([0, 1, 2], dtype=np.uint8)
+        b = np.array([0, 2], dtype=np.uint8)
+        assert edit_distance(a, b) == 1
+
+    def test_symmetry_and_identity(self):
+        rng = np.random.default_rng(1)
+        a = rng.integers(0, 4, 40).astype(np.uint8)
+        b = rng.integers(0, 4, 33).astype(np.uint8)
+        assert edit_distance(a, b) == edit_distance(b, a)
+        assert edit_distance(a, a) == 0
+
+    @settings(max_examples=50, deadline=None)
+    @given(dna(max_size=25, alphabet=3), dna(max_size=25, alphabet=3))
+    def test_matches_naive(self, a, b):
+        assert edit_distance(a, b) == naive_edit(a, b)
+
+    @settings(max_examples=25, deadline=None)
+    @given(dna(max_size=30), dna(max_size=30), dna(max_size=30))
+    def test_triangle_inequality(self, a, b, c):
+        assert edit_distance(a, c) <= edit_distance(a, b) + edit_distance(b, c)

@@ -1,0 +1,62 @@
+"""Tests for the deterministic τ-thread model."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import SparseMemFinder, parallel_query_time, split_query
+from repro.core.reference import brute_force_mems
+from repro.errors import InvalidParameterError
+from repro.types import mems_equal
+
+
+class TestSplitQuery:
+    def test_covers_all_positions(self):
+        chunks = split_query(103, 4)
+        assert len(chunks) == 4
+        assert np.concatenate(chunks).tolist() == list(range(103))
+
+    def test_near_equal(self):
+        sizes = [c.size for c in split_query(100, 3)]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_tau_one(self):
+        chunks = split_query(10, 1)
+        assert len(chunks) == 1 and chunks[0].size == 10
+
+    def test_more_chunks_than_positions(self):
+        chunks = split_query(2, 5)
+        assert np.concatenate(chunks).tolist() == [0, 1]
+
+    def test_bad_tau(self):
+        with pytest.raises(InvalidParameterError):
+            split_query(10, 0)
+
+
+class TestParallelQueryTime:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        rng = np.random.default_rng(0)
+        R = rng.integers(0, 2, 400).astype(np.uint8)
+        Q = rng.integers(0, 2, 300).astype(np.uint8)
+        f = SparseMemFinder(sparseness=4)
+        f.build_index(R)
+        return R, Q, f
+
+    def test_merged_result_complete(self, setup):
+        R, Q, f = setup
+        expect = brute_force_mems(R, Q, 8)
+        for tau in (1, 2, 4, 8):
+            merged, seconds, chunks = parallel_query_time(f, Q, 8, tau)
+            assert mems_equal(merged.array, expect), tau
+            assert len(chunks) == tau
+            assert seconds >= max(chunks)
+
+    def test_chunk_boundary_mem_not_lost(self):
+        """A MEM whose anchor is near a chunk boundary must survive."""
+        R = np.arange(64, dtype=np.uint8) % 4
+        Q = R.copy()
+        f = SparseMemFinder(sparseness=2)
+        f.build_index(R)
+        expect = brute_force_mems(R, Q, 10)
+        merged, _, _ = parallel_query_time(f, Q, 10, 7)  # odd split
+        assert mems_equal(merged.array, expect)

@@ -1,0 +1,11 @@
+"""Tests for bench environment capture."""
+
+from repro.bench.harness import environment_info
+
+
+def test_environment_info_fields():
+    env = environment_info()
+    for key in ("python", "numpy", "repro", "platform", "bench_div"):
+        assert key in env
+    assert env["repro"]
+    assert isinstance(env["bench_div"], int)

@@ -1,0 +1,54 @@
+"""Tests for the bench harness (small divisors keep these fast)."""
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import (
+    gpumem_params,
+    run_extraction_experiment,
+    run_index_experiment,
+    time_call,
+)
+from repro.bench.harness import bench_pair as _bench_pair
+from repro.bench.workloads import TOOL_COLUMNS, experiment_rows
+from repro.sequence.datasets import EXPERIMENT_CONFIGS
+
+TINY = EXPERIMENT_CONFIGS[7]  # chrXII/chrI L=20
+
+
+class TestBenchPair:
+    def test_slicing(self):
+        ref, qry = _bench_pair(TINY, div=100)
+        from repro.sequence.datasets import DATASETS
+
+        assert ref.size == DATASETS[TINY.reference].length // 100
+        assert qry.size == DATASETS[TINY.query].length // 100
+
+    def test_gpumem_params(self):
+        p = gpumem_params(TINY)
+        assert p.min_length == TINY.min_length
+        assert p.seed_length == TINY.seed_length
+
+
+class TestRunExperiments:
+    def test_index_experiment_columns(self):
+        times = run_index_experiment(TINY, div=100)
+        assert set(times) == set(TOOL_COLUMNS)
+        assert all(t >= 0 for t in times.values())
+
+    def test_extraction_experiment_cross_checks(self):
+        times, info = run_extraction_experiment(TINY, div=100)
+        # tau > L columns may be skipped; everything measured is >= 0
+        assert all(t >= 0 for t in times.values())
+        assert set(times) | set(info["skipped"]) == set(TOOL_COLUMNS)
+        assert info["n_mems"] >= 0
+        assert info["reference_len"] > 0
+
+    def test_experiment_rows_are_the_nine(self):
+        assert len(experiment_rows()) == 9
+
+
+class TestTimeCall:
+    def test_returns_best_and_result(self):
+        seconds, result = time_call(lambda: 42, repeat=3)
+        assert result == 42 and seconds >= 0

@@ -1,0 +1,38 @@
+"""Tests for repro.bench.reporting."""
+
+from repro.bench.reporting import format_table, series_csv
+
+
+class TestFormatTable:
+    def test_basic_layout(self):
+        text = format_table(
+            "T", [("row1", {"a": 1.5, "b": 2.0})], ["a", "b"], precision=1
+        )
+        assert "== T ==" in text
+        assert "row1" in text
+        assert "1.5s" in text and "2.0s" in text
+
+    def test_missing_value_dash(self):
+        text = format_table("T", [("r", {"a": 1.0})], ["a", "b"])
+        assert "-" in text
+
+    def test_paper_rows_interleaved(self):
+        text = format_table(
+            "T",
+            [("r", {"a": 1.0})],
+            ["a"],
+            paper={"r": {"a": 9.0}},
+        )
+        lines = text.splitlines()
+        assert any("paper" in line for line in lines)
+        assert "9.000s" in text
+
+    def test_unit_override(self):
+        text = format_table("T", [("r", {"a": 1.0})], ["a"], unit="x")
+        assert "1.000x" in text
+
+
+class TestSeriesCsv:
+    def test_roundtrip(self):
+        text = series_csv(["x", "y"], [(1, 2), (3, 4)])
+        assert text == "x,y\n1,2\n3,4\n"

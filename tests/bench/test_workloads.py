@@ -1,0 +1,53 @@
+"""Tests for repro.bench.workloads (published-number transcription)."""
+
+from repro.bench.workloads import (
+    FIG4_FRACTIONS,
+    FIG5_MIN_LENGTHS,
+    PAPER_TABLE3,
+    PAPER_TABLE4,
+    TOOL_COLUMNS,
+    experiment_rows,
+)
+
+
+class TestPaperTables:
+    def test_nine_rows_each(self):
+        assert len(PAPER_TABLE3) == 9
+        assert len(PAPER_TABLE4) == 9
+
+    def test_rows_match_configs(self):
+        keys = {c.key for c in experiment_rows()}
+        assert set(PAPER_TABLE3) == keys
+        assert set(PAPER_TABLE4) == keys
+
+    def test_all_columns_present(self):
+        for table in (PAPER_TABLE3, PAPER_TABLE4):
+            for row in table.values():
+                assert set(row) == set(TOOL_COLUMNS)
+
+    def test_headline_claims_hold_in_transcription(self):
+        # GPUMEM fastest extraction in every published row
+        for key, row in PAPER_TABLE4.items():
+            others = [v for c, v in row.items() if c != "GPUMEM"]
+            assert row["GPUMEM"] <= min(others), key
+        # sparseMEM extraction degrades with tau (the sparseness coupling)
+        big = PAPER_TABLE4["chr1m/chr2h/L50"]
+        assert big["sparseMEM t=1"] < big["sparseMEM t=4"] < big["sparseMEM t=8"]
+        # essaMEM improves with tau
+        assert big["essaMEM t=1"] > big["essaMEM t=4"] > big["essaMEM t=8"]
+
+    def test_index_l_dependence_only_for_gpumem(self):
+        a = PAPER_TABLE3["chr1m/chr2h/L100"]
+        b = PAPER_TABLE3["chr1m/chr2h/L30"]
+        assert a["GPUMEM"] != b["GPUMEM"]
+        assert a["MUMmer"] == b["MUMmer"]
+
+
+class TestFigureSweeps:
+    def test_fig4_final_point_is_full_query(self):
+        assert FIG4_FRACTIONS[-1] == 1.0
+        assert all(0 < f <= 1 for f in FIG4_FRACTIONS)
+        assert FIG4_FRACTIONS == sorted(FIG4_FRACTIONS)
+
+    def test_fig5_paper_values(self):
+        assert FIG5_MIN_LENGTHS == [20, 40, 50, 100, 150]

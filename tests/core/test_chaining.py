@@ -1,0 +1,100 @@
+"""Tests for repro.core.chaining."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.chaining import Chain, chain_anchors, chain_anchors_naive
+from repro.types import triplets_from_tuples
+
+anchors_strategy = st.lists(
+    st.tuples(st.integers(0, 60), st.integers(0, 60), st.integers(1, 8)),
+    max_size=25,
+).map(lambda xs: triplets_from_tuples(sorted(set(xs))))
+
+
+class TestChainAnchors:
+    def test_empty(self):
+        chain = chain_anchors(triplets_from_tuples([]))
+        assert len(chain) == 0 and chain.score == 0
+
+    def test_single(self):
+        chain = chain_anchors(triplets_from_tuples([(5, 7, 3)]))
+        assert chain.anchors == ((5, 7, 3),)
+        assert chain.score == 3
+
+    def test_simple_collinear(self):
+        chain = chain_anchors(triplets_from_tuples([(0, 0, 2), (5, 5, 3)]))
+        assert chain.anchors == ((0, 0, 2), (5, 5, 3))
+        assert chain.score == 5
+
+    def test_crossing_anchors_exclude_each_other(self):
+        # (0,10,2) and (10,0,2) cannot be chained together
+        chain = chain_anchors(triplets_from_tuples([(0, 10, 2), (10, 0, 5)]))
+        assert chain.score == 5
+        assert chain.anchors == ((10, 0, 5),)
+
+    def test_overlap_forbidden_by_default(self):
+        # second starts inside the first on the reference
+        chain = chain_anchors(triplets_from_tuples([(0, 0, 10), (5, 20, 4)]))
+        assert chain.anchors == ((0, 0, 10),)
+
+    def test_overlap_mode_allows_start_order(self):
+        chain = chain_anchors(
+            triplets_from_tuples([(0, 0, 10), (5, 20, 4)]), overlap=True
+        )
+        assert chain.score == 14
+
+    def test_weights_prefer_long_anchor(self):
+        # one long anchor beats two short crossing ones
+        chain = chain_anchors(
+            triplets_from_tuples([(0, 50, 3), (10, 40, 3), (20, 0, 10)])
+        )
+        assert chain.score == 10
+
+    def test_spans(self):
+        chain = chain_anchors(triplets_from_tuples([(2, 3, 4), (10, 9, 5)]))
+        assert chain.reference_span == (2, 15)
+        assert chain.query_span == (3, 14)
+
+    def test_accepts_matchset(self):
+        from repro.types import MatchSet
+
+        ms = MatchSet(triplets_from_tuples([(0, 0, 3)]))
+        assert chain_anchors(ms).score == 3
+
+    def test_rejects_wrong_type(self):
+        with pytest.raises(TypeError):
+            chain_anchors(np.zeros(3))
+
+    @settings(max_examples=80, deadline=None)
+    @given(anchors_strategy, st.booleans())
+    def test_matches_quadratic_dp_score(self, anchors, overlap):
+        fast = chain_anchors(anchors, overlap=overlap)
+        slow = chain_anchors_naive(anchors, overlap=overlap)
+        assert fast.score == slow.score
+        # and the fast chain is itself valid + has the claimed score
+        total = 0
+        prev = None
+        for r, q, length in fast.anchors:
+            total += length
+            if prev is not None:
+                pr, pq, pl = prev
+                if overlap:
+                    assert pr < r and pq < q
+                else:
+                    assert pr + pl <= r and pq + pl <= q
+            prev = (r, q, length)
+        assert total == fast.score
+
+    def test_end_to_end_with_real_mems(self, homologous_pair):
+        import repro
+
+        R, Q = homologous_pair
+        R, Q = R[:5000], Q[:5000]
+        mems = repro.find_mems(R, Q, min_length=20, seed_length=8)
+        chain = chain_anchors(mems)
+        assert chain.score > 0
+        assert len(chain) >= 1
+        # chained bases can't exceed the query span
+        assert chain.score <= Q.size

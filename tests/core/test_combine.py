@@ -1,0 +1,161 @@
+"""Tests for repro.core.combine (Algorithm 3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.combine import (
+    active_pairs,
+    chain_merge_expected,
+    combine_distances,
+    combine_reference,
+    is_active,
+    log2_int,
+    try_merge,
+)
+from repro.errors import InvalidParameterError
+
+
+class TestSchedule:
+    def test_distances_16(self):
+        # Fig. 3: 16 threads -> 7 iterations with d = 1,2,4,8,4,2,1
+        assert combine_distances(16) == [1, 2, 4, 8, 4, 2, 1]
+
+    def test_distances_2(self):
+        assert combine_distances(2) == [1]
+
+    def test_distances_1(self):
+        assert combine_distances(1) == []
+
+    def test_iteration_count_formula(self):
+        # 2*log2(tau) - 1 iterations (paper §III-B3)
+        for tau in (2, 4, 8, 16, 32, 64):
+            k = log2_int(tau)
+            assert len(combine_distances(tau)) == 2 * k - 1
+
+    def test_log2_validation(self):
+        with pytest.raises(InvalidParameterError):
+            log2_int(3)
+        with pytest.raises(InvalidParameterError):
+            log2_int(0)
+
+    def test_active_up_phase(self):
+        # iteration 0 (d=1): seeds with rank % 2 == 0 are active
+        assert is_active(0, 0, 8) and is_active(2, 0, 8)
+        assert not is_active(1, 0, 8)
+
+    def test_active_down_phase(self):
+        # paper: down-phase active iff i >= d and i % 2d == d
+        tau = 16
+        k = 4
+        it = k  # first down iteration, d = 4
+        assert is_active(4, it, tau) and is_active(12, it, tau)
+        assert not is_active(0, it, tau) and not is_active(8, it, tau)
+
+    def test_no_pair_reads_and_writes_same_iteration(self):
+        """The conflict-freedom argument: within one iteration, the set of
+        sources and the set of targets are disjoint."""
+        for tau in (4, 8, 16, 32):
+            for it in range(len(combine_distances(tau))):
+                pairs = active_pairs(it, tau, tau)
+                srcs = {s for s, _ in pairs}
+                trgts = {t for _, t in pairs}
+                assert not (srcs & trgts), (tau, it)
+
+
+class TestTryMerge:
+    def test_overlap_merges(self):
+        assert try_merge([0, 0, 5], [3, 3, 5]) == [0, 0, 8]
+
+    def test_touching_merges(self):
+        # δ == λ is allowed (0 < δ <= λ)
+        assert try_merge([0, 0, 3], [3, 3, 4]) == [0, 0, 7]
+
+    def test_gap_does_not_merge(self):
+        assert try_merge([0, 0, 2], [3, 3, 4]) is None
+
+    def test_different_diagonal(self):
+        assert try_merge([0, 0, 5], [3, 2, 5]) is None
+
+    def test_zero_delta_does_not_merge(self):
+        assert try_merge([0, 0, 5], [0, 0, 5]) is None
+
+    def test_deleted_triplets_ignored(self):
+        assert try_merge([0, 0, 0], [1, 1, 3]) is None
+        assert try_merge([0, 0, 3], [1, 1, 0]) is None
+
+
+def gpumem_round_pattern(draw_chains, tau, w):
+    """Build per-rank triplet lists the way a GPUMEM round produces them:
+    each chain covers consecutive ranks, triplets are w apart, every
+    non-final triplet has λ >= w."""
+    lists = [[] for _ in range(tau)]
+    expected = []
+    for start_rank, n_hits, tail_len, diag in draw_chains:
+        if start_rank + n_hits > tau:
+            continue
+        for j in range(n_hits):
+            q = (start_rank + j) * w
+            lam = w if j < n_hits - 1 else tail_len
+            lists[start_rank + j].append([q + diag, q, lam])
+        total = (n_hits - 1) * w + tail_len
+        q0 = start_rank * w
+        expected.append((q0 + diag, q0, total))
+    return lists, expected
+
+
+class TestCombineReference:
+    @settings(max_examples=60)
+    @given(
+        st.integers(1, 5).map(lambda k: 2**k),  # tau
+        st.integers(2, 6),  # w
+        st.lists(
+            st.tuples(
+                st.integers(0, 31),  # start rank
+                st.integers(1, 8),  # hits in chain
+                st.integers(1, 6),  # tail length
+                st.integers(0, 1000),  # diagonal offset (distinct-ish)
+            ),
+            max_size=4,
+        ),
+    )
+    def test_merges_chains_exactly(self, tau, w, chains):
+        # keep diagonals distinct so chains don't interact
+        seen = set()
+        chains = [c for c in chains if not (c[3] in seen or seen.add(c[3]))]
+        lists, expected = gpumem_round_pattern(chains, tau, w)
+        merged = combine_reference(lists, tau)
+        got = [tuple(t) for lst in merged for t in lst]
+        flat_inputs = [tuple(t) for lst in lists for t in lst]
+        # the parallel schedule must merge exactly the transitive overlap
+        # components (and those equal the per-chain expectations)
+        assert set(got) == chain_merge_expected(flat_inputs)
+        assert len(got) == len(set(got))
+
+    def test_single_long_chain(self):
+        tau, w = 8, 3
+        lists, expected = gpumem_round_pattern([(0, 8, 2, 0)], tau, w)
+        merged = combine_reference(lists, tau)
+        got = [tuple(t) for lst in merged for t in lst]
+        assert got == expected
+
+    def test_chain_not_starting_at_zero(self):
+        tau, w = 16, 4
+        lists, expected = gpumem_round_pattern([(3, 7, 1, 5)], tau, w)
+        merged = combine_reference(lists, tau)
+        got = [tuple(t) for lst in merged for t in lst]
+        assert got == expected
+
+    def test_multiple_triplets_per_rank(self):
+        # two chains on different diagonals sharing ranks
+        tau, w = 8, 3
+        lists, expected = gpumem_round_pattern(
+            [(1, 4, 2, 0), (1, 4, 1, 100)], tau, w
+        )
+        merged = combine_reference(lists, tau)
+        got = sorted(tuple(t) for lst in merged for t in lst)
+        assert got == sorted(expected)
+
+    def test_tau_one_noop(self):
+        lists = [[[0, 0, 3]]]
+        assert combine_reference(lists, 1) == [[[0, 0, 3]]]

@@ -1,0 +1,77 @@
+"""Tests for repro.core.distance (MEM-coverage genomic distance)."""
+
+import numpy as np
+import pytest
+
+from repro.core.distance import distance_matrix, mem_coverage, mem_distance
+from repro.errors import InvalidParameterError
+from repro.sequence.synthetic import markov_dna, mutate
+
+
+@pytest.fixture(scope="module")
+def reference():
+    return markov_dna(30_000, seed=41)
+
+
+class TestMemCoverage:
+    def test_identical_full_coverage(self, reference):
+        assert mem_coverage(reference, reference.copy(), min_length=30) == 1.0
+
+    def test_unrelated_near_zero(self, reference):
+        import repro
+
+        other = repro.random_dna(10_000, seed=5)
+        assert mem_coverage(reference, other, min_length=30) < 0.02
+
+    def test_empty_query(self, reference):
+        assert mem_coverage(reference, np.empty(0, np.uint8)) == 0.0
+
+    def test_monotone_in_divergence(self, reference):
+        covs = [
+            mem_coverage(reference, mutate(reference, rate=d, seed=50 + i),
+                         min_length=30)
+            for i, d in enumerate((0.005, 0.02, 0.08))
+        ]
+        assert covs[0] > covs[1] > covs[2]
+
+    def test_monotone_in_min_length(self, reference):
+        q = mutate(reference, rate=0.02, seed=60)
+        c30 = mem_coverage(reference, q, min_length=30)
+        c80 = mem_coverage(reference, q, min_length=80)
+        assert c80 <= c30
+
+
+class TestMemDistance:
+    def test_self_distance_zero(self, reference):
+        assert mem_distance(reference, reference.copy()) == pytest.approx(0.0)
+
+    def test_symmetric_by_default(self, reference):
+        q = mutate(reference, rate=0.03, indel_rate=0.002, seed=70)
+        assert mem_distance(reference, q) == pytest.approx(mem_distance(q, reference))
+
+    def test_asymmetric_option(self, reference):
+        # query = half the reference: coverage asymmetry shows
+        q = reference[: reference.size // 2]
+        d_q = mem_distance(reference, q, symmetric=False)
+        d_r = mem_distance(q, reference, symmetric=False)
+        assert d_q < 0.05  # the half is fully covered
+        assert d_r > 0.4  # the missing half is not
+
+
+class TestDistanceMatrix:
+    def test_matrix_properties(self, reference):
+        seqs = [
+            reference[:8000],
+            mutate(reference[:8000], rate=0.01, seed=80),
+            mutate(reference[:8000], rate=0.10, seed=81),
+        ]
+        m = distance_matrix(seqs, min_length=25)
+        assert m.shape == (3, 3)
+        assert np.allclose(m, m.T)
+        assert np.allclose(np.diag(m), 0.0)
+        # closer mutant is closer in the matrix
+        assert m[0, 1] < m[0, 2]
+
+    def test_empty_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            distance_matrix([])

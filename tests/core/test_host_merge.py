@@ -1,0 +1,106 @@
+"""Tests for repro.core.host_merge."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.host_merge import combine_diagonal, finalize_mems, host_merge
+from repro.core.combine import chain_merge_expected
+from repro.types import make_triplets, triplets_from_tuples
+
+
+class TestCombineDiagonal:
+    def test_empty(self):
+        assert combine_diagonal(triplets_from_tuples([])).size == 0
+
+    def test_single(self):
+        t = triplets_from_tuples([(3, 1, 5)])
+        out = combine_diagonal(t)
+        assert [tuple(map(int, m)) for m in out] == [(3, 1, 5)]
+
+    def test_overlap_merges(self):
+        t = triplets_from_tuples([(0, 0, 5), (3, 3, 5)])
+        out = combine_diagonal(t)
+        assert [tuple(map(int, m)) for m in out] == [(0, 0, 8)]
+
+    def test_touching_merges(self):
+        t = triplets_from_tuples([(0, 0, 3), (3, 3, 3)])
+        out = combine_diagonal(t)
+        assert [tuple(map(int, m)) for m in out] == [(0, 0, 6)]
+
+    def test_gap_stays_split(self):
+        t = triplets_from_tuples([(0, 0, 2), (4, 4, 2)])
+        out = combine_diagonal(t)
+        assert out.size == 2
+
+    def test_different_diagonals_never_merge(self):
+        t = triplets_from_tuples([(0, 0, 10), (5, 4, 10)])
+        assert combine_diagonal(t).size == 2
+
+    def test_contained_interval(self):
+        t = triplets_from_tuples([(0, 0, 10), (2, 2, 3)])
+        out = combine_diagonal(t)
+        assert [tuple(map(int, m)) for m in out] == [(0, 0, 10)]
+
+    def test_chain_through_middle(self):
+        t = triplets_from_tuples([(0, 0, 4), (4, 4, 4), (8, 8, 4)])
+        out = combine_diagonal(t)
+        assert [tuple(map(int, m)) for m in out] == [(0, 0, 12)]
+
+    @settings(max_examples=80)
+    @given(st.lists(
+        st.tuples(st.integers(0, 30), st.integers(0, 30), st.integers(1, 10)),
+        max_size=15,
+    ))
+    def test_matches_transitive_closure(self, trips):
+        arr = triplets_from_tuples([(q + d, q, l) for d, q, l in trips])
+        got = {tuple(map(int, m)) for m in combine_diagonal(arr)}
+        assert got == chain_merge_expected(
+            [(q + d, q, l) for d, q, l in trips]
+        )
+
+
+class TestFinalize:
+    def test_re_extension_restores_maximality(self):
+        # fragment (2,2,2) of the full match (0,0,6) in identical sequences
+        R = np.arange(6, dtype=np.uint8) % 4
+        Q = R.copy()
+        frag = triplets_from_tuples([(2, 2, 2)])
+        out = finalize_mems(R, Q, frag, 3)
+        assert [tuple(map(int, m)) for m in out] == [(0, 0, 6)]
+
+    def test_length_filter_after_extension(self):
+        R = np.array([0, 1, 2, 3], dtype=np.uint8)
+        Q = np.array([1, 2, 0, 0], dtype=np.uint8)  # match "12" at (1,0)
+        frag = triplets_from_tuples([(1, 0, 1)])
+        assert finalize_mems(R, Q, frag, 3).size == 0
+        assert finalize_mems(R, Q, frag, 2).size == 1
+
+    def test_duplicates_collapse(self):
+        R = np.zeros(5, dtype=np.uint8)
+        Q = np.zeros(5, dtype=np.uint8)
+        frags = triplets_from_tuples([(1, 1, 2), (2, 2, 2)])
+        out = finalize_mems(R, Q, frags, 1)
+        assert [tuple(map(int, m)) for m in out] == [(0, 0, 5)]
+
+    def test_empty(self):
+        R = np.zeros(3, dtype=np.uint8)
+        assert finalize_mems(R, R, triplets_from_tuples([]), 1).size == 0
+
+
+class TestHostMerge:
+    def test_fragments_of_one_mem_reassemble(self):
+        """The DESIGN.md §5 note 2 scenario: a missing middle fragment is
+        recovered by re-extension."""
+        R = np.arange(12, dtype=np.uint8) % 4
+        Q = R.copy()
+        # fragments from two tiles, middle tile's fragment missing
+        frags = triplets_from_tuples([(0, 0, 3), (9, 9, 3)])
+        out = host_merge(R, Q, frags, 5)
+        assert [tuple(map(int, m)) for m in out] == [(0, 0, 12)]
+
+    def test_distinct_mems_stay_distinct(self):
+        R = np.array([0, 1, 2, 3, 3, 2, 1, 0], dtype=np.uint8)
+        Q = np.array([0, 1, 2, 0, 0, 2, 1, 0], dtype=np.uint8)
+        frags = triplets_from_tuples([(0, 0, 3), (5, 5, 3)])
+        out = host_merge(R, Q, frags, 2)
+        assert {tuple(map(int, m)) for m in out} == {(0, 0, 3), (5, 5, 3)}

@@ -1,0 +1,122 @@
+"""Tests for repro.core.load_balance (Algorithm 2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.load_balance import (
+    balance_loads,
+    imbalance_ratio,
+    static_plan,
+)
+from repro.errors import InvalidParameterError
+
+loads_strategy = st.lists(st.integers(0, 50), min_size=1, max_size=64).map(
+    lambda xs: np.array(xs, dtype=np.int64)
+)
+
+
+class TestBalanceLoads:
+    def test_paper_invariants(self):
+        loads = np.array([0, 5, 0, 0, 1, 0, 0, 10], dtype=np.int64)
+        plan = balance_loads(loads)
+        assert plan.n_seeds == 3
+        assert plan.t_idle == 5
+        assert plan.t_load == 16
+        # assign partitions [0, tau)
+        assert plan.assign[0] == 0 and plan.assign[-1] == loads.size
+
+    def test_every_thread_assigned_when_work_exists(self):
+        plan = balance_loads(np.array([3, 0, 0, 0], dtype=np.int64))
+        assert (plan.group >= 0).all()
+
+    def test_heavy_seed_gets_more_threads(self):
+        loads = np.array([1, 0, 0, 0, 0, 0, 0, 100], dtype=np.int64)
+        plan = balance_loads(loads)
+        light = plan.members(0).size
+        heavy = plan.members(1).size
+        assert heavy > light
+
+    def test_proportionality(self):
+        loads = np.zeros(64, dtype=np.int64)
+        loads[0] = 10
+        loads[1] = 30
+        plan = balance_loads(loads)
+        m0, m1 = plan.members(0).size, plan.members(1).size
+        assert m0 + m1 == 64
+        # 30/40 of the idle pool should serve seed 1 (within rounding)
+        assert abs(m1 - 3 * m0) <= 4
+
+    def test_every_nonempty_seed_has_a_thread(self):
+        loads = np.array([1] * 16, dtype=np.int64)
+        plan = balance_loads(loads)
+        for rank in range(plan.n_seeds):
+            assert plan.members(rank).size >= 1
+
+    def test_all_empty(self):
+        plan = balance_loads(np.zeros(8, dtype=np.int64))
+        assert plan.n_seeds == 0
+        assert (plan.group == -1).all()
+        assert plan.per_thread_share().sum() == 0
+
+    def test_rejects_empty(self):
+        with pytest.raises(InvalidParameterError):
+            balance_loads(np.empty(0, dtype=np.int64))
+
+    def test_rejects_negative(self):
+        with pytest.raises(InvalidParameterError):
+            balance_loads(np.array([-1], dtype=np.int64))
+
+    @settings(max_examples=80)
+    @given(loads_strategy)
+    def test_structural_properties(self, loads):
+        plan = balance_loads(loads)
+        tau = loads.size
+        n_seeds = int((loads > 0).sum())
+        assert plan.n_seeds == n_seeds
+        if n_seeds:
+            # assign is a monotone partition of [0, tau)
+            assert plan.assign[0] == 0 and plan.assign[-1] == tau
+            assert (np.diff(plan.assign) >= 1).all()
+            # group is consistent with assign
+            for tid in range(tau):
+                g = plan.group[tid]
+                assert plan.assign[g] <= tid < plan.assign[g + 1]
+
+    @settings(max_examples=80)
+    @given(loads_strategy)
+    def test_share_conserves_work(self, loads):
+        plan = balance_loads(loads)
+        assert plan.per_thread_share().sum() == loads.sum()
+
+    @settings(max_examples=50)
+    @given(loads_strategy)
+    def test_balancing_reduces_max_share(self, loads):
+        balanced = balance_loads(loads).per_thread_share()
+        static = static_plan(loads).per_thread_share()
+        assert balanced.max(initial=0) <= static.max(initial=0)
+
+
+class TestStaticPlan:
+    def test_owner_keeps_seed(self):
+        loads = np.array([0, 7, 0, 2], dtype=np.int64)
+        plan = static_plan(loads)
+        assert plan.group.tolist() == [-1, 0, -1, 1]
+        assert plan.per_thread_share().tolist() == [0, 7, 0, 2]
+
+    def test_all_empty(self):
+        plan = static_plan(np.zeros(4, dtype=np.int64))
+        assert plan.n_seeds == 0
+
+
+class TestImbalanceRatio:
+    def test_perfectly_balanced(self):
+        assert imbalance_ratio(np.full(32, 5), 32) == pytest.approx(0.0)
+
+    def test_single_hot_thread(self):
+        share = np.zeros(32)
+        share[0] = 32
+        assert imbalance_ratio(share, 32) == pytest.approx(1 - 1 / 32)
+
+    def test_empty(self):
+        assert imbalance_ratio(np.zeros(8), 4) == 0.0

@@ -1,0 +1,74 @@
+"""Tests for repro.core.mapping (MEM-seeded read mapping)."""
+
+import numpy as np
+import pytest
+
+from repro.core.mapping import ReadMapper, ReadMapping
+from repro.errors import InvalidParameterError
+from repro.sequence.synthetic import markov_dna, mutate, plant_repeats
+
+
+@pytest.fixture(scope="module")
+def reference():
+    return plant_repeats(markov_dna(60_000, seed=31), seed=32,
+                         n_families=3, copies_per_family=(10, 40))
+
+
+@pytest.fixture(scope="module")
+def mapper(reference):
+    return ReadMapper(reference, min_seed=20, seed_length=9, tolerance=150)
+
+
+class TestReadMapper:
+    def test_exact_read_maps_exactly(self, reference, mapper):
+        read = reference[10_000:12_000]
+        m = mapper.map_read(read)
+        assert m.mapped
+        assert abs(m.locus - 10_000) <= 1
+        assert m.support >= read.size * 0.9
+        assert m.mapq > 30
+
+    def test_noisy_reads_map_within_tolerance(self, reference, mapper):
+        rng = np.random.default_rng(0)
+        correct = 0
+        for _ in range(15):
+            start = int(rng.integers(0, reference.size - 3000))
+            read = mutate(reference[start : start + 3000], rate=0.06,
+                          indel_rate=0.01, seed=int(rng.integers(2**31)))
+            m = mapper.map_read(read)
+            if m.mapped and abs(m.locus - start) <= mapper.tolerance:
+                correct += 1
+        assert correct >= 13
+
+    def test_random_read_unmapped_or_weak(self, mapper):
+        import repro
+
+        read = repro.random_dna(2000, seed=999)
+        m = mapper.map_read(read)
+        assert (not m.mapped) or m.support < 100
+
+    def test_unmapped_fields(self, mapper):
+        m = mapper.map_read(np.array([0, 1, 2], dtype=np.uint8))
+        assert not m.mapped
+        assert m.mapq == 0 and m.n_seeds == 0
+
+    def test_ambiguous_read_low_mapq(self, reference):
+        """A read copied from a repeat consensus maps with depressed MAPQ."""
+        # duplicate a segment far away so the read has two perfect loci
+        ref = reference.copy()
+        ref[40_000:42_000] = ref[5_000:7_000]
+        mapper = ReadMapper(ref, min_seed=20, seed_length=9)
+        read = ref[5_200:6_800]
+        m = mapper.map_read(read)
+        unique_read = ref[20_000:21_600]
+        m_unique = mapper.map_read(unique_read)
+        assert m.mapq < m_unique.mapq
+
+    def test_map_reads_batch(self, reference, mapper):
+        reads = [reference[0:1500], reference[30_000:31_500]]
+        out = mapper.map_reads(reads)
+        assert len(out) == 2 and all(isinstance(m, ReadMapping) for m in out)
+
+    def test_validation(self, reference):
+        with pytest.raises(InvalidParameterError):
+            ReadMapper(reference, tolerance=0)

@@ -1,0 +1,79 @@
+"""Tests for multi-device (row-banded) extraction."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+import repro
+from repro.core.multi_device import find_mems_multi_device, partition_rows
+from repro.core.params import GpuMemParams
+from repro.core.reference import brute_force_mems
+from repro.errors import InvalidParameterError
+from repro.types import mems_equal
+
+from tests.conftest import dna_pair
+
+
+class TestPartitionRows:
+    def test_covers_all_rows(self):
+        bands = partition_rows(10, 3)
+        assert sum(bands, []) == list(range(10))
+
+    def test_near_equal(self):
+        sizes = [len(b) for b in partition_rows(10, 3)]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_more_devices_than_rows(self):
+        bands = partition_rows(2, 5)
+        assert sum(bands, []) == [0, 1]
+        assert len(bands) == 5  # some bands empty
+
+    def test_bad_count(self):
+        with pytest.raises(InvalidParameterError):
+            partition_rows(4, 0)
+
+
+class TestMultiDeviceCorrectness:
+    @settings(max_examples=15, deadline=None)
+    @given(dna_pair(max_size=150), st.integers(1, 4))
+    def test_equals_brute_force(self, pair, n_devices):
+        R, Q = pair
+        L = 5
+        p = GpuMemParams(min_length=L, seed_length=3,
+                         threads_per_block=4, blocks_per_tile=2)
+        mems, stats = find_mems_multi_device(R, Q, p, n_devices=n_devices)
+        assert mems_equal(mems.array, brute_force_mems(R, Q, L))
+        assert stats["n_devices"] == n_devices
+
+    def test_mem_crossing_band_boundary(self):
+        # identical sequences: one huge MEM crossing every band
+        R = (np.arange(400) % 4).astype(np.uint8)
+        Q = R.copy()
+        p = GpuMemParams(min_length=10, seed_length=4,
+                         threads_per_block=4, blocks_per_tile=2)
+        mems, stats = find_mems_multi_device(R, Q, p, n_devices=3)
+        assert (0, 0, 400) in set(mems.as_tuples())
+        assert stats["n_cross_band_fragments"] > 0
+
+    def test_single_device_equals_standard_matcher(self):
+        rng = np.random.default_rng(0)
+        R = rng.integers(0, 3, 300).astype(np.uint8)
+        Q = rng.integers(0, 3, 300).astype(np.uint8)
+        p = GpuMemParams(min_length=6, seed_length=3,
+                         threads_per_block=8, blocks_per_tile=2)
+        multi, _ = find_mems_multi_device(R, Q, p, n_devices=1)
+        single = repro.GpuMem(p).find_mems(R, Q)
+        assert multi == single
+
+
+class TestMultiDeviceTiming:
+    def test_stats_structure(self):
+        rng = np.random.default_rng(1)
+        R = rng.integers(0, 4, 500).astype(np.uint8)
+        Q = rng.integers(0, 4, 500).astype(np.uint8)
+        p = GpuMemParams(min_length=8, seed_length=4,
+                         threads_per_block=8, blocks_per_tile=2)
+        _, stats = find_mems_multi_device(R, Q, p, n_devices=3)
+        assert len(stats["device_seconds"]) == 3
+        assert stats["parallel_seconds"] <= stats["serial_seconds"] + 1e-9
+        assert sum(stats["rows_per_device"]) == stats["n_rows"]

@@ -1,0 +1,72 @@
+"""Tests for repro.core.perf_model (the Fig. 7 analytic model)."""
+
+import numpy as np
+import pytest
+
+from repro.core.params import GpuMemParams
+from repro.core.perf_model import ModelResult, load_balance_speedup, model_extraction
+from repro.core.simulated import simulated_find_mems
+from repro.gpu.device import TESLA_K20C
+from repro.sequence.synthetic import markov_dna, plant_homology, plant_repeats
+
+
+@pytest.fixture(scope="module")
+def skewed_pair():
+    """Small but seed-skewed input (repeat family => hot seeds)."""
+    R = plant_repeats(
+        markov_dna(6000, seed=1), seed=2, n_families=2,
+        family_length=(60, 120), copies_per_family=(60, 120),
+        copy_divergence=0.01,
+    )
+    Q = plant_homology(R, 5000, seed=3, coverage=0.7, divergence=0.01)
+    return R, Q
+
+
+@pytest.fixture(scope="module")
+def params():
+    return GpuMemParams(min_length=16, seed_length=6,
+                        threads_per_block=32, blocks_per_tile=4)
+
+
+class TestModelBasics:
+    def test_result_fields(self, skewed_pair, params):
+        R, Q = skewed_pair
+        res = model_extraction(R, Q, params, balanced=True)
+        assert isinstance(res, ModelResult)
+        assert res.cycles > 0 and res.seconds > 0
+        assert 0 <= res.imbalance < 1
+
+    def test_balanced_less_imbalance(self, skewed_pair, params):
+        R, Q = skewed_pair
+        on = model_extraction(R, Q, params, balanced=True)
+        off = model_extraction(R, Q, params, balanced=False)
+        assert on.imbalance < off.imbalance
+
+    def test_speedup_dict(self, skewed_pair, params):
+        R, Q = skewed_pair
+        res = load_balance_speedup(R, Q, params)
+        assert set(res) == {
+            "balanced_seconds", "unbalanced_seconds", "speedup",
+            "balanced_imbalance", "unbalanced_imbalance",
+        }
+        assert res["speedup"] > 1.0  # balancing must pay off on skewed input
+
+
+class TestModelValidation:
+    def test_model_tracks_simulator_ratio(self, skewed_pair, params):
+        """The model's headline quantity — the balanced/unbalanced ratio —
+        must agree with the thread-level simulator within a loose factor."""
+        R, Q = skewed_pair
+        _, s_on = simulated_find_mems(R, Q, params)
+        _, s_off = simulated_find_mems(R, Q, params.with_(load_balancing=False))
+        sim_ratio = s_off["sim_match_seconds"] / s_on["sim_match_seconds"]
+        model = load_balance_speedup(R, Q, params)
+        assert model["speedup"] == pytest.approx(sim_ratio, rel=0.4)
+
+    def test_uniform_input_near_parity(self, params):
+        """Without skew, balancing buys (almost) nothing."""
+        rng = np.random.default_rng(9)
+        R = rng.integers(0, 4, 4000).astype(np.uint8)
+        Q = rng.integers(0, 4, 4000).astype(np.uint8)
+        res = load_balance_speedup(R, Q, params)
+        assert 0.5 < res["speedup"] < 1.5

@@ -1,0 +1,62 @@
+"""Tests for repro.core.records (multi-record matching)."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.records import RecordMatch, best_pairing, find_mems_records, total_matches
+from repro.errors import InvalidParameterError
+from repro.sequence.fasta import FastaRecord
+
+
+@pytest.fixture
+def refs(rng):
+    return [
+        ("chrA", rng.integers(0, 4, 2000).astype(np.uint8)),
+        ("chrB", rng.integers(0, 4, 1500).astype(np.uint8)),
+    ]
+
+
+class TestFindMemsRecords:
+    def test_cartesian_product(self, refs):
+        queries = [("q1", refs[0][1][100:600]), ("q2", refs[1][1][200:700])]
+        out = find_mems_records(refs, queries, min_length=30, seed_length=8)
+        assert len(out) == 4
+        names = {(m.reference_name, m.query_name) for m in out}
+        assert names == {("chrA", "q1"), ("chrA", "q2"), ("chrB", "q1"),
+                         ("chrB", "q2")}
+
+    def test_coordinates_are_record_local(self, refs):
+        queries = [("q1", refs[0][1][100:600])]
+        out = find_mems_records(refs, queries, min_length=30, seed_length=8)
+        hit = next(m for m in out if (m.reference_name, m.query_name) == ("chrA", "q1"))
+        assert (100, 0, 500) in set(hit.mems.as_tuples())
+
+    def test_matches_never_cross_records(self, refs):
+        # concatenation artifact check: a query spanning the A|B junction of
+        # a naive concatenation must NOT be reported by the record driver
+        junction = np.concatenate([refs[0][1][-50:], refs[1][1][:50]])
+        out = find_mems_records(refs, [("junction", junction)],
+                                min_length=60, seed_length=8)
+        assert total_matches(out) == 0
+
+    def test_accepts_fasta_records_and_bare_arrays(self, refs):
+        fr = FastaRecord(header="fr", codes=refs[0][1][:300])
+        out = find_mems_records([fr], [refs[0][1][:300]], min_length=30,
+                                seed_length=8)
+        assert out[0].reference_name == "fr"
+        assert out[0].query_name == "seq0"
+        assert len(out[0]) >= 1
+
+    def test_empty_rejected(self, refs):
+        with pytest.raises(InvalidParameterError):
+            find_mems_records([], refs, min_length=20)
+
+
+class TestBestPairing:
+    def test_assigns_query_to_homolog(self, refs):
+        queries = [("q1", refs[0][1][100:900]), ("q2", refs[1][1][100:900])]
+        out = find_mems_records(refs, queries, min_length=30, seed_length=8)
+        best = best_pairing(out)
+        assert best["q1"].reference_name == "chrA"
+        assert best["q2"].reference_name == "chrB"

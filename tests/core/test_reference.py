@@ -1,0 +1,64 @@
+"""Tests for repro.core.reference (the brute-force oracle itself)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.reference import brute_force_mems
+from repro.errors import InvalidParameterError
+
+from tests.conftest import dna_pair, naive_mems
+
+
+class TestBruteForce:
+    def test_single_mem(self):
+        R = np.array([0, 1, 2, 3], dtype=np.uint8)
+        Q = np.array([1, 2], dtype=np.uint8)
+        out = brute_force_mems(R, Q, 2)
+        assert [tuple(map(int, m)) for m in out] == [(1, 0, 2)]
+
+    def test_maximality_both_sides(self):
+        # R=ACGTA, Q=CGT: match CGT at (1,0,3); bounded by sequence edges on Q
+        R = np.array([0, 1, 2, 3, 0], dtype=np.uint8)
+        Q = np.array([1, 2, 3], dtype=np.uint8)
+        out = brute_force_mems(R, Q, 3)
+        assert [tuple(map(int, m)) for m in out] == [(1, 0, 3)]
+
+    def test_non_maximal_not_reported(self):
+        R = np.array([0, 0, 0], dtype=np.uint8)
+        Q = np.array([0, 0], dtype=np.uint8)
+        out = {tuple(map(int, m)) for m in brute_force_mems(R, Q, 1)}
+        # diagonals give maximal runs only
+        assert (1, 0, 2) in out
+        assert (1, 1, 1) not in out  # extendable left
+
+    def test_identical_sequences(self):
+        R = np.array([0, 1, 2, 3], dtype=np.uint8)
+        out = brute_force_mems(R, R.copy(), 4)
+        assert (0, 0, 4) in {tuple(map(int, m)) for m in out}
+
+    def test_no_matches(self):
+        R = np.zeros(5, dtype=np.uint8)
+        Q = np.ones(5, dtype=np.uint8)
+        assert brute_force_mems(R, Q, 1).size == 0
+
+    def test_empty_inputs(self):
+        assert brute_force_mems(np.empty(0, np.uint8), np.zeros(3, np.uint8), 1).size == 0
+
+    def test_min_length_validated(self):
+        with pytest.raises(InvalidParameterError):
+            brute_force_mems(np.zeros(2, np.uint8), np.zeros(2, np.uint8), 0)
+
+    @settings(max_examples=60, deadline=None)
+    @given(dna_pair(max_size=40), st.integers(1, 5))
+    def test_matches_independent_loop_oracle(self, pair, L):
+        """Two independently-written oracles must agree exactly."""
+        R, Q = pair
+        got = {tuple(map(int, m)) for m in brute_force_mems(R, Q, L)}
+        assert got == naive_mems(R, Q, L)
+
+    def test_all_same_letter_quadratic_case(self):
+        R = np.zeros(12, dtype=np.uint8)
+        Q = np.zeros(9, dtype=np.uint8)
+        got = {tuple(map(int, m)) for m in brute_force_mems(R, Q, 3)}
+        assert got == naive_mems(R, Q, 3)

@@ -1,0 +1,101 @@
+"""Tests for the simulated backend (block kernel + tile stage + driver)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.params import GpuMemParams
+from repro.core.reference import brute_force_mems
+from repro.core.simulated import simulated_find_mems
+from repro.gpu.device import TEST_DEVICE
+from repro.types import mems_equal, unique_mems
+
+from tests.conftest import dna_pair
+
+
+def tiny_params(L, ls, *, balancing=True, tau=4, blocks=2):
+    return GpuMemParams(
+        min_length=L,
+        seed_length=ls,
+        threads_per_block=tau,
+        blocks_per_tile=blocks,
+        load_balancing=balancing,
+    )
+
+
+class TestSimulatedCorrectness:
+    @settings(max_examples=25, deadline=None)
+    @given(dna_pair(max_size=120), st.booleans())
+    def test_equals_brute_force(self, pair, balancing):
+        R, Q = pair
+        L, ls = 5, 3
+        params = tiny_params(L, ls, balancing=balancing)
+        mems, _ = simulated_find_mems(R, Q, params, spec=TEST_DEVICE)
+        assert mems_equal(mems, brute_force_mems(R, Q, L))
+
+    def test_many_tile_crossings(self):
+        rng = np.random.default_rng(5)
+        R = rng.integers(0, 2, 300).astype(np.uint8)
+        Q = rng.integers(0, 2, 250).astype(np.uint8)
+        # tile size = blocks * tau * w = 2*4*(6-3+1)=32 -> ~10x8 tiles
+        params = tiny_params(6, 3)
+        mems, stats = simulated_find_mems(R, Q, params, spec=TEST_DEVICE)
+        assert stats["n_tiles"] > 20
+        assert mems_equal(mems, brute_force_mems(R, Q, 6))
+
+    def test_long_mem_across_everything(self):
+        R = np.arange(200, dtype=np.uint8) % 4
+        Q = R.copy()
+        params = tiny_params(6, 3)
+        mems, _ = simulated_find_mems(R, Q, params, spec=TEST_DEVICE)
+        got = {tuple(map(int, m)) for m in unique_mems(mems)}
+        assert (0, 0, 200) in got
+
+    def test_balanced_equals_unbalanced(self):
+        rng = np.random.default_rng(6)
+        R = rng.integers(0, 3, 200).astype(np.uint8)
+        Q = rng.integers(0, 3, 200).astype(np.uint8)
+        a, _ = simulated_find_mems(R, Q, tiny_params(5, 2, balancing=True),
+                                   spec=TEST_DEVICE)
+        b, _ = simulated_find_mems(R, Q, tiny_params(5, 2, balancing=False),
+                                   spec=TEST_DEVICE)
+        assert mems_equal(a, b)
+
+    def test_matches_vectorized_backend(self):
+        from repro.core.matcher import GpuMem
+
+        rng = np.random.default_rng(7)
+        R = rng.integers(0, 3, 300).astype(np.uint8)
+        Q = rng.integers(0, 3, 220).astype(np.uint8)
+        params = tiny_params(5, 3, tau=8)
+        sim, _ = simulated_find_mems(R, Q, params, spec=TEST_DEVICE)
+        vec = GpuMem(params).find_mems(R, Q)
+        assert mems_equal(sim, vec.array)
+
+
+class TestSimulatedStats:
+    def test_stats_populated(self):
+        rng = np.random.default_rng(8)
+        R = rng.integers(0, 4, 150).astype(np.uint8)
+        Q = rng.integers(0, 4, 150).astype(np.uint8)
+        _, stats = simulated_find_mems(R, Q, tiny_params(5, 2), spec=TEST_DEVICE)
+        assert stats["backend"] == "simulated"
+        assert stats["sim_total_seconds"] > 0
+        assert stats["sim_index_seconds"] > 0
+        assert stats["kernel_launches"] > 0
+        assert stats["device"] == TEST_DEVICE.name
+
+    def test_transfer_accounting(self):
+        rng = np.random.default_rng(9)
+        R = rng.integers(0, 2, 200).astype(np.uint8)
+        Q = rng.integers(0, 2, 200).astype(np.uint8)
+        mems, stats = simulated_find_mems(R, Q, tiny_params(5, 2), spec=TEST_DEVICE)
+        assert mems.size > 0
+        assert stats["sim_transfer_seconds"] > 0
+        assert stats["sim_transfer_seconds"] < stats["sim_total_seconds"]
+
+    def test_empty_query(self):
+        R = np.zeros(50, dtype=np.uint8)
+        Q = np.empty(0, dtype=np.uint8)
+        mems, stats = simulated_find_mems(R, Q, tiny_params(4, 2), spec=TEST_DEVICE)
+        assert mems.size == 0

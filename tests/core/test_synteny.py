@@ -1,0 +1,111 @@
+"""Tests for repro.core.synteny."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.synteny import SyntenyBlock, block_coverage, synteny_blocks
+from repro.errors import InvalidParameterError
+from repro.types import triplets_from_tuples
+
+
+class TestSyntenyBlocks:
+    def test_empty(self):
+        assert synteny_blocks(triplets_from_tuples([])) == []
+
+    def test_single_anchor(self):
+        blocks = synteny_blocks(triplets_from_tuples([(10, 20, 5)]))
+        assert len(blocks) == 1
+        b = blocks[0]
+        assert (b.r_start, b.r_end, b.q_start, b.q_end) == (10, 15, 20, 25)
+        assert b.n_anchors == 1 and b.anchored_bases == 5
+
+    def test_near_diagonal_anchors_merge(self):
+        # same diagonal, small gap
+        blocks = synteny_blocks(
+            triplets_from_tuples([(0, 0, 10), (30, 30, 10)]), max_gap=50
+        )
+        assert len(blocks) == 1
+        assert blocks[0].n_anchors == 2
+
+    def test_far_query_gap_splits(self):
+        blocks = synteny_blocks(
+            triplets_from_tuples([(0, 0, 10), (5000, 5000, 10)]), max_gap=100
+        )
+        assert len(blocks) == 2
+
+    def test_diagonal_drift_tolerated(self):
+        # a 20-base indel between two anchors of one conserved segment
+        blocks = synteny_blocks(
+            triplets_from_tuples([(0, 0, 30), (50, 70, 30)]),
+            max_gap=100, max_diagonal_drift=25,
+        )
+        assert len(blocks) == 1
+
+    def test_diagonal_jump_splits(self):
+        # same query region, wildly different reference locus (a repeat hit)
+        blocks = synteny_blocks(
+            triplets_from_tuples([(0, 0, 30), (9000, 10, 30)]),
+            max_gap=100, max_diagonal_drift=100,
+        )
+        assert len(blocks) == 2
+
+    def test_transitive_clustering(self):
+        # chain A-B-C where A and C are only connected through B
+        blocks = synteny_blocks(
+            triplets_from_tuples([(0, 0, 10), (60, 60, 10), (120, 120, 10)]),
+            max_gap=60,
+        )
+        assert len(blocks) == 1
+        assert blocks[0].n_anchors == 3
+
+    def test_filters(self):
+        trips = triplets_from_tuples([(0, 0, 5), (900, 5000, 50)])
+        blocks = synteny_blocks(trips, min_bases=20)
+        assert len(blocks) == 1 and blocks[0].anchored_bases == 50
+        blocks = synteny_blocks(trips, min_anchors=2)
+        assert blocks == []
+
+    def test_sorted_by_query(self):
+        trips = triplets_from_tuples([(0, 9000, 10), (5000, 0, 10)])
+        blocks = synteny_blocks(trips, max_gap=10)
+        assert blocks[0].q_start < blocks[1].q_start
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            synteny_blocks(triplets_from_tuples([(0, 0, 1)]), max_gap=-1)
+        with pytest.raises(TypeError):
+            synteny_blocks([1, 2, 3])
+
+    def test_planted_rearrangement_recovered(self):
+        """Query = two reference segments glued in swapped order: two blocks
+        with the right diagonals."""
+        R = repro.random_dna(6000, seed=3)
+        Q = np.concatenate([R[3000:4500], R[500:2000]])
+        mems = repro.find_mems(R, Q, min_length=25, seed_length=8)
+        blocks = synteny_blocks(mems.array, max_gap=300, min_bases=500)
+        assert len(blocks) == 2
+        # first block (query start 0) copies R[3000:], diagonal ~ +3000;
+        # second (query start 1500) copies R[500:], diagonal ~ -1000
+        assert abs(blocks[0].diagonal - 3000) < 50
+        assert abs(blocks[1].diagonal - (-1000)) < 50
+        # density of pure copies is ~1
+        assert all(b.density > 0.9 for b in blocks)
+
+
+class TestBlockCoverage:
+    def test_empty(self):
+        assert block_coverage([], 100) == 0.0
+
+    def test_full_cover(self):
+        b = SyntenyBlock(0, 10, 0, 100, 1, 100)
+        assert block_coverage([b], 100) == 1.0
+
+    def test_partial(self):
+        b = SyntenyBlock(0, 10, 25, 75, 1, 50)
+        assert block_coverage([b], 100) == pytest.approx(0.5)
+
+    def test_overlapping_blocks_not_double_counted(self):
+        blocks = [SyntenyBlock(0, 1, 0, 60, 1, 60),
+                  SyntenyBlock(0, 1, 40, 100, 1, 60)]
+        assert block_coverage(blocks, 100) == 1.0

@@ -1,0 +1,86 @@
+"""Tests for repro.core.tiling."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.tiling import Tile, TilePlan
+from repro.errors import InvalidParameterError
+
+
+class TestTilePlan:
+    def test_exact_grid(self):
+        plan = TilePlan(n_reference=100, n_query=200, tile_size=50)
+        assert plan.n_rows == 2 and plan.n_cols == 4
+        assert plan.n_tiles == 8
+
+    def test_ragged_edges_clipped(self):
+        plan = TilePlan(n_reference=105, n_query=55, tile_size=50)
+        assert plan.n_rows == 3 and plan.n_cols == 2
+        assert plan.row_range(2) == (100, 105)
+        assert plan.col_range(1) == (50, 55)
+
+    def test_empty_sequences(self):
+        plan = TilePlan(n_reference=0, n_query=10, tile_size=5)
+        assert plan.n_rows == 0 and plan.n_tiles == 0
+
+    def test_tile_object(self):
+        plan = TilePlan(n_reference=100, n_query=100, tile_size=30)
+        t = plan.tile(1, 2)
+        assert (t.r_start, t.r_end) == (30, 60)
+        assert (t.q_start, t.q_end) == (60, 90)
+        assert t.shape == (30, 30)
+
+    def test_row_iteration_order(self):
+        plan = TilePlan(n_reference=60, n_query=90, tile_size=30)
+        tiles = list(plan.tiles_in_row(0))
+        assert [t.col for t in tiles] == [0, 1, 2]
+        assert all(t.row == 0 for t in tiles)
+
+    def test_full_iteration_is_row_major(self):
+        plan = TilePlan(n_reference=60, n_query=60, tile_size=30)
+        coords = [(t.row, t.col) for t in plan]
+        assert coords == [(0, 0), (0, 1), (1, 0), (1, 1)]
+
+    def test_out_of_range(self):
+        plan = TilePlan(n_reference=10, n_query=10, tile_size=5)
+        with pytest.raises(InvalidParameterError):
+            plan.row_range(2)
+        with pytest.raises(InvalidParameterError):
+            plan.col_range(-1)
+
+    def test_bad_tile_size(self):
+        with pytest.raises(InvalidParameterError):
+            TilePlan(n_reference=5, n_query=5, tile_size=0)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(1, 500), st.integers(1, 500), st.integers(1, 60))
+    def test_tiles_partition_space(self, nr, nq, ts):
+        plan = TilePlan(n_reference=nr, n_query=nq, tile_size=ts)
+        covered = 0
+        for t in plan:
+            assert 0 <= t.r_start < t.r_end <= nr
+            assert 0 <= t.q_start < t.q_end <= nq
+            covered += (t.r_end - t.r_start) * (t.q_end - t.q_start)
+        assert covered == nr * nq
+
+    @settings(max_examples=30)
+    @given(st.integers(1, 200), st.integers(1, 200), st.integers(1, 40),
+           st.data())
+    def test_tile_of_point(self, nr, nq, ts, data):
+        plan = TilePlan(n_reference=nr, n_query=nq, tile_size=ts)
+        r = data.draw(st.integers(0, nr - 1))
+        q = data.draw(st.integers(0, nq - 1))
+        t = plan.tile_of_point(r, q)
+        assert t.contains(r, q)
+
+    def test_tile_of_point_out_of_space(self):
+        plan = TilePlan(n_reference=10, n_query=10, tile_size=5)
+        with pytest.raises(InvalidParameterError):
+            plan.tile_of_point(10, 0)
+
+
+class TestTile:
+    def test_contains(self):
+        t = Tile(row=0, col=0, r_start=5, r_end=10, q_start=0, q_end=5)
+        assert t.contains(5, 0) and t.contains(9, 4)
+        assert not t.contains(10, 0) and not t.contains(5, 5)

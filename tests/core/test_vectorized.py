@@ -1,0 +1,180 @@
+"""Tests for repro.core.vectorized (tile stage internals)."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.tiling import Tile
+from repro.core.vectorized import (
+    expand_ranges,
+    extend_and_classify,
+    stage_tile,
+    tile_candidates,
+)
+from repro.index.kmer_index import build_kmer_index
+from repro.sequence.packed import kmer_codes
+
+from tests.conftest import dna
+
+
+class TestExpandRanges:
+    def test_simple(self):
+        flat, owner = expand_ranges(np.array([10, 20]), np.array([2, 3]))
+        assert flat.tolist() == [10, 11, 20, 21, 22]
+        assert owner.tolist() == [0, 0, 1, 1, 1]
+
+    def test_empty_ranges_skipped(self):
+        flat, owner = expand_ranges(np.array([5, 9, 7]), np.array([0, 2, 0]))
+        assert flat.tolist() == [9, 10]
+        assert owner.tolist() == [1, 1]
+
+    def test_all_empty(self):
+        flat, owner = expand_ranges(np.array([1, 2]), np.array([0, 0]))
+        assert flat.size == 0 and owner.size == 0
+
+    @settings(max_examples=40)
+    @given(st.lists(st.tuples(st.integers(0, 50), st.integers(0, 6)), max_size=20))
+    def test_matches_naive(self, ranges):
+        starts = np.array([s for s, _ in ranges], dtype=np.int64)
+        counts = np.array([c for _, c in ranges], dtype=np.int64)
+        flat, owner = expand_ranges(starts, counts)
+        expect_flat, expect_owner = [], []
+        for i, (s, c) in enumerate(ranges):
+            for j in range(c):
+                expect_flat.append(s + j)
+                expect_owner.append(i)
+        assert flat.tolist() == expect_flat
+        assert owner.tolist() == expect_owner
+
+
+def full_tile(nr, nq):
+    return Tile(row=0, col=0, r_start=0, r_end=nr, q_start=0, q_end=nq)
+
+
+class TestTileCandidates:
+    def test_finds_all_seed_alignments(self):
+        rng = np.random.default_rng(0)
+        R = rng.integers(0, 2, 60).astype(np.uint8)
+        Q = rng.integers(0, 2, 50).astype(np.uint8)
+        ls, step = 3, 2
+        idx = build_kmer_index(R, seed_length=ls, step=step)
+        qk = kmer_codes(Q, ls)
+        r, q, counts = tile_candidates(qk, full_tile(60, 50), idx, 50, ls)
+        got = set(zip(r.tolist(), q.tolist()))
+        rk = kmer_codes(R, ls)
+        expect = {
+            (rr, qq)
+            for qq in range(50 - ls + 1)
+            for rr in range(0, 60 - ls + 1, step)
+            if rk[rr] == qk[qq]
+        }
+        assert got == expect
+
+    def test_respects_tile_column(self):
+        R = np.zeros(30, dtype=np.uint8)
+        Q = np.zeros(30, dtype=np.uint8)
+        idx = build_kmer_index(R, seed_length=2, step=1)
+        qk = kmer_codes(Q, 2)
+        tile = Tile(row=0, col=1, r_start=0, r_end=30, q_start=10, q_end=20)
+        _, q, _ = tile_candidates(qk, tile, idx, 30, 2)
+        assert q.min() >= 10 and q.max() < 20
+
+    def test_query_window_must_fit_sequence(self):
+        R = np.zeros(10, dtype=np.uint8)
+        Q = np.zeros(5, dtype=np.uint8)
+        idx = build_kmer_index(R, seed_length=3, step=1)
+        qk = kmer_codes(Q, 3)
+        _, q, _ = tile_candidates(qk, full_tile(10, 5), idx, 5, 3)
+        assert q.max() <= 2
+
+    def test_empty_tile(self):
+        R = np.zeros(10, dtype=np.uint8)
+        idx = build_kmer_index(R, seed_length=3, step=1)
+        tile = Tile(row=0, col=0, r_start=0, r_end=10, q_start=4, q_end=4)
+        r, q, c = tile_candidates(np.empty(0, np.int64), tile, idx, 4, 3)
+        assert r.size == 0
+
+
+class TestExtendAndClassify:
+    def test_interior_mem_is_final(self):
+        # match strictly inside the tile with mismatches on both sides
+        R = np.array([3, 0, 1, 2, 3, 3], dtype=np.uint8)
+        Q = np.array([2, 0, 1, 2, 0, 2], dtype=np.uint8)
+        tile = full_tile(6, 6)
+        # seed (1,1) of length 2 -> extends to (1,1,3)
+        res = extend_and_classify(R, Q, tile, np.array([1]), np.array([1]), 2, 2)
+        assert [tuple(map(int, m)) for m in res.in_tile] == [(1, 1, 3)]
+        assert res.out_tile.size == 0
+
+    def test_boundary_touching_goes_out(self):
+        R = np.array([0, 1, 2], dtype=np.uint8)
+        Q = np.array([0, 1, 2], dtype=np.uint8)
+        tile = Tile(row=0, col=0, r_start=0, r_end=2, q_start=0, q_end=2)
+        res = extend_and_classify(R, Q, tile, np.array([0]), np.array([0]), 2, 1)
+        # extension crosses the box at (2,2) -> touching
+        assert res.in_tile.size == 0
+        assert res.out_tile.size == 1
+
+    def test_mismatch_exactly_on_boundary_is_final(self):
+        # DESIGN.md §5: precise touching — a true mismatch on the box edge
+        # still yields an in-tile MEM
+        R = np.array([0, 1, 3], dtype=np.uint8)
+        Q = np.array([0, 1, 2], dtype=np.uint8)
+        tile = Tile(row=0, col=0, r_start=0, r_end=2, q_start=0, q_end=2)
+        res = extend_and_classify(R, Q, tile, np.array([0]), np.array([0]), 2, 1)
+        assert [tuple(map(int, m)) for m in res.in_tile] == [(0, 0, 2)]
+
+    def test_short_touching_fragment_kept(self):
+        # DESIGN.md §5 note 1: boundary fragments are never length-filtered
+        R = np.array([0, 0, 0, 0], dtype=np.uint8)
+        Q = np.array([0, 0, 0, 0], dtype=np.uint8)
+        tile = Tile(row=0, col=0, r_start=0, r_end=2, q_start=0, q_end=2)
+        res = extend_and_classify(
+            R, Q, tile, np.array([0]), np.array([0]), 2, 100
+        )
+        assert res.out_tile.size == 1  # kept although λ << min_length
+
+    def test_deduplication(self):
+        # two seed hits inside the same MEM give identical triplets
+        R = np.array([0, 1, 0, 1, 2], dtype=np.uint8)
+        Q = np.array([0, 1, 0, 1, 3], dtype=np.uint8)
+        res = extend_and_classify(
+            R, Q, full_tile(5, 5), np.array([0, 2]), np.array([0, 2]), 2, 2
+        )
+        assert res.in_tile.size == 1
+
+    def test_empty_candidates(self):
+        R = np.zeros(4, dtype=np.uint8)
+        res = extend_and_classify(
+            R, R, full_tile(4, 4), np.empty(0, np.int64), np.empty(0, np.int64), 2, 1
+        )
+        assert res.in_tile.size == 0 and res.out_tile.size == 0
+
+
+class TestStageTile:
+    @settings(max_examples=40, deadline=None)
+    @given(dna(min_size=8, max_size=80, alphabet=2), dna(min_size=8, max_size=80, alphabet=2))
+    def test_full_tile_equals_brute_force(self, R, Q):
+        """With one tile covering everything and step=1, the stage alone
+        must produce exactly the brute-force MEM set."""
+        from repro.core.reference import brute_force_mems
+        from repro.types import mems_equal, concat_triplets
+
+        ls, L = 2, 3
+        idx = build_kmer_index(R, seed_length=ls, step=1)
+        qk = kmer_codes(Q, ls) if Q.size >= ls else np.empty(0, dtype=np.int64)
+        res = stage_tile(R, Q, qk, full_tile(R.size, Q.size), idx, L)
+        # the whole space is one tile: in_tile + re-extended out_tile == all
+        from repro.core.host_merge import host_merge
+
+        crossing = host_merge(R, Q, res.out_tile, L)
+        got = concat_triplets([res.in_tile, crossing])
+        assert mems_equal(got, brute_force_mems(R, Q, L))
+
+    def test_hit_stats(self):
+        R = np.zeros(20, dtype=np.uint8)
+        Q = np.zeros(10, dtype=np.uint8)
+        idx = build_kmer_index(R, seed_length=2, step=1)
+        qk = kmer_codes(Q, 2)
+        res = stage_tile(R, Q, qk, full_tile(20, 10), idx, 3)
+        assert res.n_query_seeds_with_hits == 9
+        assert res.n_candidates == 9 * 19

@@ -1,0 +1,54 @@
+"""Tests for repro.gpu.costmodel."""
+
+import pytest
+
+from repro.gpu.costmodel import CostModel, GLOBAL_MEM_COST
+from repro.gpu.device import TESLA_K20C, DeviceSpec
+
+
+class TestScheduleBlocks:
+    def setup_method(self):
+        self.model = CostModel(DeviceSpec("s", 2, 8, 4, 1e6, 1 << 20))
+
+    def test_empty(self):
+        assert self.model.schedule_blocks([]) == 0.0
+
+    def test_single_block(self):
+        assert self.model.schedule_blocks([10.0]) == 10.0
+
+    def test_perfect_split(self):
+        assert self.model.schedule_blocks([5.0, 5.0]) == 5.0
+
+    def test_makespan_is_max_sm(self):
+        # 2 SMs, blocks [6,5,4,3]: LPT -> {6,3}, {5,4} -> makespan 9
+        assert self.model.schedule_blocks([6.0, 5.0, 4.0, 3.0]) == 9.0
+
+    def test_imbalanced_block_dominates(self):
+        assert self.model.schedule_blocks([100.0, 1.0, 1.0]) == 100.0
+
+    def test_more_sms_never_slower(self):
+        few = CostModel(DeviceSpec("a", 2, 8, 4, 1e6, 1))
+        many = CostModel(DeviceSpec("b", 8, 8, 4, 1e6, 1))
+        blocks = [float(x) for x in range(1, 20)]
+        assert many.schedule_blocks(blocks) <= few.schedule_blocks(blocks)
+
+
+class TestGlobalMemCost:
+    def test_weight_is_meaningfully_large(self):
+        # the modeling assumption: global memory ≫ shared-memory ops
+        assert 10 <= GLOBAL_MEM_COST <= 100
+
+
+class TestTimeKernel:
+    def test_fills_cycles_and_seconds(self):
+        from repro.gpu.kernel import KernelReport
+
+        model = CostModel(TESLA_K20C)
+        rep = KernelReport(
+            name="x", grid=2, block=32, n_phases=1,
+            warp_max_ops=100, total_thread_ops=100,
+            block_cycles=[60.0, 60.0],
+        )
+        model.time_kernel(rep)
+        assert rep.sim_cycles == 10.0  # 60/6 warps-in-flight, 2 blocks on 2 SMs
+        assert rep.sim_seconds == pytest.approx(10.0 / TESLA_K20C.clock_hz)

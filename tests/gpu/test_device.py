@@ -1,0 +1,34 @@
+"""Tests for repro.gpu.device."""
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.gpu.device import TESLA_K20C, TEST_DEVICE, DeviceSpec
+
+
+class TestDeviceSpec:
+    def test_k20c_matches_paper(self):
+        # §IV: 13 SMs, 192 cores/SM (2496 total), 700 MHz, 4.8 GB
+        assert TESLA_K20C.sm_count == 13
+        assert TESLA_K20C.cores_per_sm == 192
+        assert TESLA_K20C.total_cores == 2496
+        assert TESLA_K20C.clock_hz == 700e6
+        assert TESLA_K20C.global_mem_bytes == int(4.8 * 2**30)
+        assert TESLA_K20C.warp_size == 32
+
+    def test_warps_in_flight(self):
+        assert TESLA_K20C.warps_in_flight_per_sm == 6  # 192 / 32
+
+    def test_seconds_from_cycles(self):
+        assert TESLA_K20C.seconds_from_cycles(700e6) == pytest.approx(1.0)
+
+    def test_test_device_small(self):
+        assert TEST_DEVICE.total_cores < TESLA_K20C.total_cores
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            DeviceSpec("x", 0, 1, 1, 1.0, 1)
+        with pytest.raises(InvalidParameterError):
+            DeviceSpec("x", 1, 1, 3, 1.0, 1)  # warp not power of two
+        with pytest.raises(InvalidParameterError):
+            DeviceSpec("x", 1, 1, 2, 0.0, 1)

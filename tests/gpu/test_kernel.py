@@ -1,0 +1,233 @@
+"""Tests for repro.gpu.kernel — SIMT execution semantics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import KernelError
+from repro.gpu.costmodel import GLOBAL_MEM_COST
+from repro.gpu.device import TEST_DEVICE, DeviceSpec
+from repro.gpu.kernel import Device
+
+
+def make_device():
+    return Device(TEST_DEVICE, schedule_seed=1)
+
+
+class TestLaunchBasics:
+    def test_every_thread_runs(self):
+        dev = make_device()
+        out = np.zeros(16, dtype=np.int64)
+
+        def kernel(ctx, out):
+            out[ctx.gtid] = ctx.gtid + 1
+            yield
+
+        dev.launch(kernel, 2, 8, out)
+        assert np.array_equal(out, np.arange(1, 17))
+
+    def test_block_and_thread_ids(self):
+        dev = make_device()
+        ids = []
+
+        def kernel(ctx):
+            ids.append((ctx.bid, ctx.tid, ctx.bdim, ctx.gdim))
+            yield
+
+        dev.launch(kernel, 3, 4)
+        assert len(ids) == 12
+        assert set(b for b, *_ in ids) == {0, 1, 2}
+        assert all(bd == 4 and gd == 3 for _, _, bd, gd in ids)
+
+    def test_bad_launch_params(self):
+        dev = make_device()
+
+        def kernel(ctx):
+            yield
+
+        with pytest.raises(KernelError):
+            dev.launch(kernel, 0, 4)
+        with pytest.raises(KernelError):
+            dev.launch(kernel, 1, TEST_DEVICE.max_threads_per_block + 1)
+
+    def test_report_recorded(self):
+        dev = make_device()
+
+        def kernel(ctx):
+            ctx.work(3)
+            yield
+
+        rep = dev.launch(kernel, 1, 4, name="k")
+        assert rep.name == "k"
+        assert rep.total_thread_ops == 12
+        assert dev.reports[-1] is rep
+
+
+class TestBarriers:
+    def test_barrier_orders_phases(self):
+        """All writes before a barrier are visible after it, regardless of
+        the shuffled schedule."""
+        dev = make_device()
+        tau = 8
+        data = np.zeros(tau, dtype=np.int64)
+        ok = np.zeros(tau, dtype=np.int64)
+
+        def kernel(ctx, data, ok):
+            data[ctx.tid] = ctx.tid
+            yield
+            # read a neighbour: must already be written
+            ok[ctx.tid] = data[(ctx.tid + 1) % ctx.bdim] == (ctx.tid + 1) % ctx.bdim
+            yield
+
+        dev.launch(kernel, 1, tau, data, ok)
+        assert ok.all()
+
+    def test_barrier_divergence_detected(self):
+        dev = make_device()
+
+        def kernel(ctx):
+            if ctx.tid == 0:
+                yield  # only thread 0 hits the barrier -> UB on real HW
+            yield
+
+        with pytest.raises(KernelError, match="barrier divergence"):
+            dev.launch(kernel, 1, 4)
+
+    def test_threads_may_finish_together_early(self):
+        dev = make_device()
+
+        def kernel(ctx):
+            yield
+            # all threads return after one barrier — fine
+
+        rep = dev.launch(kernel, 1, 4)
+        assert rep.n_phases >= 1
+
+    def test_different_trip_counts_rejected(self):
+        dev = make_device()
+
+        def kernel(ctx):
+            for _ in range(ctx.tid + 1):  # non-uniform loop of barriers
+                yield
+
+        with pytest.raises(KernelError):
+            dev.launch(kernel, 1, 4)
+
+
+class TestAtomics:
+    def test_atomic_add_counts_all(self):
+        dev = make_device()
+        counter = np.zeros(1, dtype=np.int64)
+
+        def kernel(ctx, counter):
+            for _ in range(5):
+                ctx.atomic_add(counter, 0, 1)
+            yield
+
+        dev.launch(kernel, 2, 8, counter)
+        assert counter[0] == 2 * 8 * 5
+
+    def test_atomic_add_returns_old(self):
+        dev = make_device()
+        counter = np.zeros(1, dtype=np.int64)
+        olds = []
+
+        def kernel(ctx, counter):
+            olds.append(ctx.atomic_add(counter, 0, 1))
+            yield
+
+        dev.launch(kernel, 1, 8, counter)
+        assert sorted(olds) == list(range(8))
+
+    def test_shuffled_schedule_randomizes_order(self):
+        """Arrival order differs from thread order (Algorithm 1's unsorted
+        locs effect)."""
+        dev = make_device()
+        order = np.zeros(16, dtype=np.int64)
+        slot = np.zeros(1, dtype=np.int64)
+
+        def kernel(ctx, order, slot):
+            order[ctx.atomic_add(slot, 0, 1)] = ctx.tid
+            yield
+
+        dev.launch(kernel, 1, 16, order, slot)
+        assert not np.array_equal(order, np.arange(16))
+        assert sorted(order.tolist()) == list(range(16))
+
+    def test_atomics_charged_at_memory_weight(self):
+        dev = make_device()
+        c = np.zeros(1, dtype=np.int64)
+
+        def kernel(ctx, c):
+            ctx.atomic_add(c, 0, 1)
+            yield
+
+        rep = dev.launch(kernel, 1, 1, c)
+        assert rep.total_thread_ops == GLOBAL_MEM_COST
+
+    def test_atomic_max_and_exch(self):
+        dev = make_device()
+        arr = np.zeros(1, dtype=np.int64)
+
+        def kernel(ctx, arr):
+            ctx.atomic_max(arr, 0, ctx.tid)
+            yield
+
+        dev.launch(kernel, 1, 8, arr)
+        assert arr[0] == 7
+
+
+class TestCostAccounting:
+    def test_warp_max_semantics(self):
+        """A warp costs its max thread: one busy thread serializes it."""
+        dev = make_device()  # warp size 4
+
+        def busy_one(ctx):
+            if ctx.tid == 0:
+                ctx.work(100)
+            yield
+
+        def busy_all(ctx):
+            ctx.work(100)
+            yield
+
+        r1 = dev.launch(busy_one, 1, 4)
+        r2 = dev.launch(busy_all, 1, 4)
+        assert r1.warp_max_ops == r2.warp_max_ops == 100
+        assert r1.total_thread_ops == 100
+        assert r2.total_thread_ops == 400
+        assert r1.imbalance > r2.imbalance == 0.0
+
+    def test_sim_seconds_positive(self):
+        dev = make_device()
+
+        def kernel(ctx):
+            ctx.work(10)
+            yield
+
+        rep = dev.launch(kernel, 4, 8)
+        assert rep.sim_cycles > 0
+        assert rep.sim_seconds == pytest.approx(
+            rep.sim_cycles / TEST_DEVICE.clock_hz
+        )
+        assert dev.total_sim_seconds() >= rep.sim_seconds
+
+    def test_more_blocks_more_time(self):
+        dev = make_device()
+
+        def kernel(ctx):
+            ctx.work(50)
+            yield
+
+        small = dev.launch(kernel, 2, 8).sim_cycles
+        big = dev.launch(kernel, 64, 8).sim_cycles
+        assert big > small
+
+    def test_reset_reports(self):
+        dev = make_device()
+
+        def kernel(ctx):
+            yield
+
+        dev.launch(kernel, 1, 2)
+        dev.reset_reports()
+        assert dev.total_sim_cycles() == 0

@@ -1,0 +1,89 @@
+"""Tests for repro.gpu.memory."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MemoryBudgetError
+from repro.gpu.device import DeviceSpec
+from repro.gpu.memory import GlobalMemory, SharedMemory
+
+SMALL = DeviceSpec("small", 1, 32, 32, 1e6, 1024, shared_mem_per_block=64)
+
+
+class TestGlobalMemory:
+    def test_alloc_and_get(self):
+        mem = GlobalMemory(SMALL)
+        arr = mem.alloc("a", 10, np.int8)
+        assert arr.shape == (10,)
+        assert mem.get("a") is arr
+        assert "a" in mem
+
+    def test_zero_initialized(self):
+        mem = GlobalMemory(SMALL)
+        assert mem.alloc("a", 5, np.int64).sum() == 0
+
+    def test_budget_enforced(self):
+        mem = GlobalMemory(SMALL)
+        with pytest.raises(MemoryBudgetError, match="OOM"):
+            mem.alloc("big", 2048, np.int8)
+
+    def test_budget_counts_existing(self):
+        mem = GlobalMemory(SMALL)
+        mem.alloc("a", 1000, np.int8)
+        with pytest.raises(MemoryBudgetError):
+            mem.alloc("b", 100, np.int8)
+
+    def test_free_releases_budget(self):
+        mem = GlobalMemory(SMALL)
+        mem.alloc("a", 1000, np.int8)
+        mem.free("a")
+        mem.alloc("b", 1000, np.int8)  # should fit again
+
+    def test_duplicate_name(self):
+        mem = GlobalMemory(SMALL)
+        mem.alloc("a", 1, np.int8)
+        with pytest.raises(MemoryBudgetError):
+            mem.alloc("a", 1, np.int8)
+
+    def test_free_unknown(self):
+        with pytest.raises(MemoryBudgetError):
+            GlobalMemory(SMALL).free("nope")
+
+    def test_peak_tracking(self):
+        mem = GlobalMemory(SMALL)
+        mem.alloc("a", 600, np.int8)
+        mem.free("a")
+        mem.alloc("b", 100, np.int8)
+        assert mem.peak_bytes == 600
+
+    def test_upload_copies(self):
+        mem = GlobalMemory(SMALL)
+        host = np.arange(5, dtype=np.int8)
+        dev = mem.upload("h", host)
+        host[0] = 99
+        assert dev[0] == 0
+
+    def test_free_all(self):
+        mem = GlobalMemory(SMALL)
+        mem.alloc("a", 10, np.int8)
+        mem.free_all()
+        assert mem.used_bytes == 0
+
+
+class TestSharedMemory:
+    def test_get_or_create(self):
+        sh = SharedMemory(SMALL)
+        a = sh.array("x", 4, np.int8)
+        b = sh.array("x", 4, np.int8)
+        assert a is b
+
+    def test_budget(self):
+        sh = SharedMemory(SMALL)
+        with pytest.raises(MemoryBudgetError):
+            sh.array("big", 100, np.int8)
+
+    def test_budget_cumulative(self):
+        sh = SharedMemory(SMALL)
+        sh.array("a", 40, np.int8)
+        with pytest.raises(MemoryBudgetError):
+            sh.array("b", 40, np.int8)

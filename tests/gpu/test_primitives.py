@@ -1,0 +1,87 @@
+"""Tests for repro.gpu.primitives."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import KernelError
+from repro.gpu.device import TEST_DEVICE
+from repro.gpu.kernel import Device
+from repro.gpu.primitives import (
+    exclusive_prefix_sum_kernel,
+    gpu_prefix_sum,
+    gpu_segment_sort,
+)
+
+
+class TestGpuPrefixSum:
+    def test_exclusive(self):
+        dev = Device(TEST_DEVICE)
+        arr = np.array([3, 1, 4, 1, 5], dtype=np.int64)
+        gpu_prefix_sum(dev, arr, exclusive=True)
+        assert arr.tolist() == [0, 3, 4, 8, 9]
+
+    def test_inclusive(self):
+        dev = Device(TEST_DEVICE)
+        arr = np.array([3, 1, 4], dtype=np.int64)
+        gpu_prefix_sum(dev, arr, exclusive=False)
+        assert arr.tolist() == [3, 4, 8]
+
+    def test_empty(self):
+        dev = Device(TEST_DEVICE)
+        arr = np.empty(0, dtype=np.int64)
+        gpu_prefix_sum(dev, arr)
+        assert arr.size == 0
+
+    def test_cost_charged(self):
+        dev = Device(TEST_DEVICE)
+        gpu_prefix_sum(dev, np.ones(1000, dtype=np.int64))
+        assert dev.reports[-1].name == "GPUPrefixSum"
+        assert dev.reports[-1].sim_cycles > 0
+
+    @settings(max_examples=25)
+    @given(st.lists(st.integers(0, 100), max_size=60))
+    def test_matches_cumsum(self, values):
+        dev = Device(TEST_DEVICE)
+        arr = np.array(values, dtype=np.int64)
+        expect = np.concatenate(([0], np.cumsum(arr)[:-1])) if arr.size else arr
+        gpu_prefix_sum(dev, arr, exclusive=True)
+        assert np.array_equal(arr, expect)
+
+
+class TestBlellochKernel:
+    @pytest.mark.parametrize("n", [2, 4, 8, 16, 32])
+    def test_matches_exclusive_cumsum(self, n):
+        dev = Device(TEST_DEVICE, schedule_seed=3)
+        rng = np.random.default_rng(n)
+        data = rng.integers(0, 50, size=n).astype(np.int64)
+        expect = np.concatenate(([0], np.cumsum(data)[:-1]))
+        dev.launch(exclusive_prefix_sum_kernel, 1, max(n // 2, 1), data, n)
+        assert np.array_equal(data, expect)
+
+
+class TestSegmentSort:
+    def test_sorts_each_segment(self):
+        dev = Device(TEST_DEVICE)
+        values = np.array([5, 3, 9, 1, 2, 8, 7], dtype=np.int64)
+        seg = np.array([0, 3, 3, 7], dtype=np.int64)
+        gpu_segment_sort(dev, values, seg)
+        assert values.tolist() == [3, 5, 9, 1, 2, 7, 8]
+
+    def test_bad_segments(self):
+        dev = Device(TEST_DEVICE)
+        with pytest.raises(KernelError):
+            gpu_segment_sort(dev, np.zeros(3, np.int64), np.array([1, 3]))
+
+    def test_cost_reflects_skew(self):
+        dev = Device(TEST_DEVICE)
+        n = 256
+        vals = np.arange(n)[::-1].astype(np.int64).copy()
+        balanced = np.arange(0, n + 1, 8, dtype=np.int64)  # 32 segments of 8
+        skewed = np.array([0] + [n] * 1, dtype=np.int64)  # wait: one big segment
+        skewed = np.array([0, n], dtype=np.int64)
+        gpu_segment_sort(dev, vals.copy(), balanced)
+        cost_balanced = dev.reports[-1].sim_cycles
+        gpu_segment_sort(dev, vals.copy(), skewed)
+        cost_skewed = dev.reports[-1].sim_cycles
+        assert cost_skewed > cost_balanced

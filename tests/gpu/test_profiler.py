@@ -1,0 +1,79 @@
+"""Tests for repro.gpu.profiler."""
+
+import numpy as np
+
+from repro.gpu.device import TEST_DEVICE
+from repro.gpu.kernel import Device
+from repro.gpu.profiler import profile_device
+
+
+def busy_kernel(ctx):
+    ctx.work(10 if ctx.tid == 0 else 1)
+    yield
+
+
+def light_kernel(ctx):
+    ctx.work(1)
+    yield
+
+
+class TestProfileDevice:
+    def test_rollup_counts_launches(self):
+        dev = Device(TEST_DEVICE)
+        dev.launch(busy_kernel, 1, 4, name="busy")
+        dev.launch(busy_kernel, 1, 4, name="busy")
+        dev.launch(light_kernel, 1, 4, name="light")
+        prof = profile_device(dev)
+        assert prof.kernels["busy"].launches == 2
+        assert prof.kernels["light"].launches == 1
+        assert prof.total_seconds == sum(r.sim_seconds for r in dev.reports)
+
+    def test_shares_sum_to_one(self):
+        dev = Device(TEST_DEVICE)
+        dev.launch(busy_kernel, 2, 4, name="a")
+        dev.launch(light_kernel, 2, 4, name="b")
+        prof = profile_device(dev)
+        assert abs(prof.share("a") + prof.share("b") - 1.0) < 1e-9
+
+    def test_efficiency_reflects_divergence(self):
+        dev = Device(TEST_DEVICE)
+        dev.launch(busy_kernel, 1, 4, name="skewed")
+        dev.launch(light_kernel, 1, 4, name="even")
+        prof = profile_device(dev)
+        assert prof.kernels["even"].efficiency == 1.0
+        assert prof.kernels["skewed"].efficiency < 0.5
+
+    def test_hottest_ordering(self):
+        dev = Device(TEST_DEVICE)
+        dev.launch(light_kernel, 1, 4, name="cold")
+        dev.launch(busy_kernel, 8, 4, name="hot")
+        prof = profile_device(dev)
+        assert prof.hottest(1)[0].name == "hot"
+
+    def test_format_contains_rows(self):
+        dev = Device(TEST_DEVICE)
+        dev.launch(light_kernel, 1, 4, name="k1")
+        text = profile_device(dev).format()
+        assert "device profile" in text and "k1" in text and "total" in text
+
+    def test_empty_device(self):
+        prof = profile_device(Device(TEST_DEVICE))
+        assert prof.total_seconds == 0.0
+        assert prof.share("anything") == 0.0
+
+    def test_on_real_pipeline(self):
+        from repro.core.params import GpuMemParams
+        from repro.core.simulated import simulated_find_mems
+        from repro.gpu.kernel import Device as Dev
+
+        rng = np.random.default_rng(0)
+        R = rng.integers(0, 3, 200).astype(np.uint8)
+        Q = rng.integers(0, 3, 200).astype(np.uint8)
+        dev = Dev(TEST_DEVICE)
+        params = GpuMemParams(min_length=5, seed_length=3,
+                              threads_per_block=4, blocks_per_tile=2)
+        simulated_find_mems(R, Q, params, device=dev)
+        prof = profile_device(dev)
+        assert "match:block" in prof.kernels
+        assert "index:count" in prof.kernels
+        assert prof.total_seconds > 0

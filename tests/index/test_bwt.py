@@ -1,0 +1,75 @@
+"""Tests for repro.index.bwt."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import IndexError_
+from repro.index.bwt import (
+    FM_SIGMA,
+    SENTINEL,
+    bwt_from_sa,
+    bwt_transform,
+    inverse_bwt,
+)
+
+from tests.conftest import dna
+
+
+class TestBwtTransform:
+    def test_round_trip_simple(self):
+        codes = np.array([2, 0, 1, 3, 0], dtype=np.uint8)
+        bwt, sa = bwt_transform(codes)
+        assert bwt.size == codes.size + 1
+        assert np.array_equal(inverse_bwt(bwt), codes)
+
+    def test_single_sentinel(self):
+        codes = np.array([0, 0, 1], dtype=np.uint8)
+        bwt, _ = bwt_transform(codes)
+        assert (bwt == SENTINEL).sum() == 1
+
+    def test_empty_sequence(self):
+        bwt, sa = bwt_transform(np.empty(0, dtype=np.uint8))
+        assert bwt.tolist() == [SENTINEL]
+        assert inverse_bwt(bwt).size == 0
+
+    def test_symbol_shift(self):
+        # shifted alphabet: bases occupy 1..4
+        codes = np.array([0, 3], dtype=np.uint8)
+        bwt, _ = bwt_transform(codes)
+        assert set(bwt.tolist()) <= set(range(FM_SIGMA))
+
+    def test_bwt_is_permutation_of_text(self):
+        codes = np.array([1, 1, 2, 3, 0, 2], dtype=np.uint8)
+        bwt, _ = bwt_transform(codes)
+        assert sorted(bwt.tolist()) == sorted(list(codes + 1) + [SENTINEL])
+
+    @settings(max_examples=60)
+    @given(dna(max_size=120))
+    def test_round_trip_property(self, codes):
+        bwt, _ = bwt_transform(codes)
+        assert np.array_equal(inverse_bwt(bwt), codes)
+
+    def test_repeat_heavy(self):
+        codes = np.tile(np.array([0, 1, 2], dtype=np.uint8), 30)
+        bwt, _ = bwt_transform(codes)
+        assert np.array_equal(inverse_bwt(bwt), codes)
+
+
+class TestBwtFromSa:
+    def test_size_mismatch(self):
+        with pytest.raises(IndexError_):
+            bwt_from_sa(np.zeros(3, np.uint8), np.zeros(2, np.int64))
+
+
+class TestInverseBwt:
+    def test_no_sentinel_raises(self):
+        with pytest.raises(IndexError_):
+            inverse_bwt(np.array([1, 2], dtype=np.uint8))
+
+    def test_two_sentinels_raise(self):
+        with pytest.raises(IndexError_):
+            inverse_bwt(np.array([0, 0, 1], dtype=np.uint8))
+
+    def test_empty(self):
+        assert inverse_bwt(np.empty(0, dtype=np.uint8)).size == 0

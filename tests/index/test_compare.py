@@ -1,0 +1,144 @@
+"""Tests for repro.index.compare — the batched comparison kernels."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.index.compare import (
+    CHUNK,
+    common_prefix_len,
+    common_suffix_len,
+    compare_positions,
+)
+
+from tests.conftest import dna
+
+
+def naive_cpl(a, b, pa, pb, limit=None):
+    n = 0
+    while pa + n < len(a) and pb + n < len(b) and a[pa + n] == b[pb + n]:
+        n += 1
+        if limit is not None and n >= limit:
+            break
+    if pa < 0 or pb < 0 or pa > len(a) or pb > len(b):
+        return 0
+    return n
+
+
+class TestCommonPrefixLen:
+    def test_simple(self):
+        a = np.array([0, 1, 2, 3], dtype=np.uint8)
+        b = np.array([0, 1, 3], dtype=np.uint8)
+        assert common_prefix_len(a, b, [0], [0])[0] == 2
+
+    def test_full_match_ends_at_shorter(self):
+        a = np.array([1, 2, 3], dtype=np.uint8)
+        b = np.array([1, 2, 3, 0], dtype=np.uint8)
+        assert common_prefix_len(a, b, [0], [0])[0] == 3
+
+    def test_run_longer_than_chunk(self):
+        a = np.zeros(3 * CHUNK + 5, dtype=np.uint8)
+        b = np.zeros(3 * CHUNK + 9, dtype=np.uint8)
+        assert common_prefix_len(a, b, [0], [0])[0] == 3 * CHUNK + 5
+
+    def test_mismatch_on_chunk_boundary(self):
+        a = np.zeros(CHUNK + 1, dtype=np.uint8)
+        b = np.zeros(CHUNK + 1, dtype=np.uint8)
+        b[CHUNK] = 1
+        assert common_prefix_len(a, b, [0], [0])[0] == CHUNK
+
+    def test_out_of_range_positions(self):
+        a = np.zeros(5, dtype=np.uint8)
+        out = common_prefix_len(a, a, [-1, 6, 5], [0, 0, 5])
+        assert out.tolist() == [0, 0, 0]
+
+    def test_position_at_end(self):
+        a = np.zeros(5, dtype=np.uint8)
+        assert common_prefix_len(a, a, [5], [0])[0] == 0
+
+    def test_limit_caps(self):
+        a = np.zeros(100, dtype=np.uint8)
+        assert common_prefix_len(a, a, [0], [1], limit=7)[0] == 7
+
+    def test_empty_batch(self):
+        a = np.zeros(3, dtype=np.uint8)
+        assert common_prefix_len(a, a, [], []).size == 0
+
+    def test_self_comparison_same_position(self):
+        a = np.arange(10, dtype=np.uint8) % 4
+        assert common_prefix_len(a, a, [3], [3])[0] == 7
+
+    @settings(max_examples=60)
+    @given(dna(max_size=150, alphabet=2), dna(max_size=150, alphabet=2),
+           st.integers(0, 160), st.integers(0, 160))
+    def test_matches_naive(self, a, b, pa, pb):
+        got = common_prefix_len(a, b, [pa], [pb])[0]
+        assert got == naive_cpl(a, b, pa, pb)
+
+    @settings(max_examples=30)
+    @given(dna(min_size=5, max_size=80, alphabet=2), st.integers(1, 20))
+    def test_limit_property(self, a, limit):
+        full = common_prefix_len(a, a, [0], [1])[0]
+        capped = common_prefix_len(a, a, [0], [1], limit=limit)[0]
+        assert capped == min(full, limit)
+
+
+class TestCommonSuffixLen:
+    def test_simple(self):
+        a = np.array([0, 1, 2], dtype=np.uint8)
+        b = np.array([3, 1, 2], dtype=np.uint8)
+        assert common_suffix_len(a, b, [3], [3])[0] == 2
+
+    def test_at_start(self):
+        a = np.array([1, 2], dtype=np.uint8)
+        assert common_suffix_len(a, a, [0], [2])[0] == 0
+
+    @settings(max_examples=60)
+    @given(dna(min_size=1, max_size=100, alphabet=2),
+           dna(min_size=1, max_size=100, alphabet=2),
+           st.integers(0, 100), st.integers(0, 100))
+    def test_matches_naive(self, a, b, pa, pb):
+        pa = min(pa, a.size)
+        pb = min(pb, b.size)
+        got = common_suffix_len(a, b, [pa], [pb])[0]
+        n = 0
+        while pa - n > 0 and pb - n > 0 and a[pa - n - 1] == b[pb - n - 1]:
+            n += 1
+        assert got == n
+
+    def test_left_extension_semantics(self):
+        # match at (r, q): how far can it grow left?
+        R = np.array([0, 1, 2, 3], dtype=np.uint8)
+        Q = np.array([9 % 4, 1, 2, 3], dtype=np.uint8)
+        # match starting at r=2,q=2; left chars R[1]==Q[1]==1, R[0]!=Q[0]
+        assert common_suffix_len(R, Q, [2], [2])[0] == 1
+
+
+class TestComparePositions:
+    def test_basic_order(self):
+        a = np.array([0, 1], dtype=np.uint8)
+        b = np.array([0, 2], dtype=np.uint8)
+        assert compare_positions(a, b, [0], [0])[0] == -1
+        assert compare_positions(b, a, [0], [0])[0] == 1
+
+    def test_equal_suffixes(self):
+        a = np.array([1, 2, 3], dtype=np.uint8)
+        assert compare_positions(a, a, [1], [1])[0] == 0
+
+    def test_prefix_is_smaller(self):
+        # "AB" < "ABC": shorter suffix wins (sentinel convention)
+        a = np.array([0, 1], dtype=np.uint8)
+        b = np.array([0, 1, 2], dtype=np.uint8)
+        assert compare_positions(a, b, [0], [0])[0] == -1
+
+    def test_empty_suffix_smallest(self):
+        a = np.array([0], dtype=np.uint8)
+        assert compare_positions(a, a, [1], [0])[0] == -1
+
+    @settings(max_examples=60)
+    @given(dna(min_size=1, max_size=60, alphabet=2),
+           st.integers(0, 59), st.integers(0, 59))
+    def test_matches_python_bytes_order(self, a, i, j):
+        i, j = min(i, a.size - 1), min(j, a.size - 1)
+        raw = a.tobytes()
+        expect = (raw[i:] > raw[j:]) - (raw[i:] < raw[j:])
+        assert compare_positions(a, a, [i], [j])[0] == expect

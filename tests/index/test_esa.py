@@ -1,0 +1,113 @@
+"""Tests for repro.index.esa (LCP intervals + enhanced sparse SA)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import InvalidParameterError
+from repro.index.esa import EnhancedSparseSuffixArray, LCPIntervals
+from repro.index.lcp import lcp_array
+from repro.index.suffix_array import suffix_array
+
+from tests.conftest import dna
+
+
+def build_intervals(codes):
+    sa = suffix_array(codes)
+    return LCPIntervals(lcp_array(codes, sa)), sa
+
+
+class TestLCPIntervals:
+    def test_depth_of_whole_array(self):
+        codes = np.array([0, 1, 0, 1], dtype=np.uint8)
+        iv, _ = build_intervals(codes)
+        assert iv.depth(0, codes.size) == 0
+
+    def test_depth_scalar_and_vector(self):
+        codes = np.array([0, 0, 0, 1], dtype=np.uint8)
+        iv, _ = build_intervals(codes)
+        lo = np.array([0, 1])
+        hi = np.array([2, 3])
+        vec = iv.depth(lo, hi)
+        assert vec[0] == iv.depth(0, 2)
+        assert vec[1] == iv.depth(1, 3)
+
+    def test_parent_of_root_is_root(self):
+        codes = np.array([0, 1, 2, 3], dtype=np.uint8)
+        iv, _ = build_intervals(codes)
+        plo, phi, pd = iv.parent(0, 4)
+        assert (plo, phi, pd) == (0, 4, 0)
+
+    @staticmethod
+    def _pattern_interval(codes, sa, pos, length):
+        """SA interval of the substring codes[pos:pos+length] (naive)."""
+        pat = codes[pos : pos + length].tobytes()
+        raw = codes.tobytes()
+        members = [i for i in range(sa.size) if raw[sa[i] : sa[i] + length] == pat]
+        return members[0], members[-1] + 1
+
+    @settings(max_examples=40)
+    @given(dna(min_size=3, max_size=60, alphabet=2))
+    def test_parent_is_prefix_interval(self, codes):
+        # parent() is defined on genuine pattern intervals: the parent of
+        # the interval of P must be the interval of P[:pd].
+        iv, sa = build_intervals(codes)
+        rng = np.random.default_rng(0)
+        for _ in range(8):
+            pos = int(rng.integers(0, codes.size))
+            length = int(rng.integers(1, codes.size - pos + 1))
+            lo, hi = self._pattern_interval(codes, sa, pos, length)
+            plo, phi, pd = iv.parent(lo, hi)
+            assert plo <= lo and phi >= hi
+            assert pd < length
+            assert (plo, phi) == self._pattern_interval(codes, sa, pos, pd)
+
+    @settings(max_examples=30)
+    @given(dna(min_size=3, max_size=60, alphabet=2))
+    def test_parent_scalar_matches_vector(self, codes):
+        iv, sa = build_intervals(codes)
+        rng = np.random.default_rng(1)
+        for _ in range(8):
+            pos = int(rng.integers(0, codes.size))
+            length = int(rng.integers(1, codes.size - pos + 1))
+            lo, hi = self._pattern_interval(codes, sa, pos, length)
+            assert iv.parent_scalar(lo, hi) == iv.parent(lo, hi)
+
+    def test_parent_is_minimal_enclosing(self):
+        # all-same-letter text: interval tree is a path
+        codes = np.full(6, 1, dtype=np.uint8)
+        iv, _ = build_intervals(codes)
+        # suffixes sorted by length; interval [3,6) groups the 3 longest
+        plo, phi, pd = iv.parent(5, 6)
+        assert plo < 5 or phi > 6
+
+
+class TestEnhancedSparseSuffixArray:
+    def test_has_prefix_table_by_default(self):
+        rng = np.random.default_rng(2)
+        R = rng.integers(0, 4, 300).astype(np.uint8)
+        e = EnhancedSparseSuffixArray(R, sparseness=2)
+        assert e.prefix_table_k >= 1
+        assert e._pt_lo is not None
+
+    def test_rejects_no_table(self):
+        with pytest.raises(InvalidParameterError):
+            EnhancedSparseSuffixArray(np.zeros(10, np.uint8), sparseness=1,
+                                      prefix_table_k=0)
+
+    def test_same_candidates_as_plain_sparse(self):
+        from repro.index.sparse_sa import SparseSuffixArray
+
+        rng = np.random.default_rng(3)
+        R = rng.integers(0, 3, 150).astype(np.uint8)
+        Q = rng.integers(0, 3, 100).astype(np.uint8)
+        a = SparseSuffixArray(R, sparseness=2)
+        b = EnhancedSparseSuffixArray(R, sparseness=2, prefix_table_k=4)
+        qpos = np.arange(Q.size)
+        ra = a.enumerate_candidates(Q, qpos, 4)
+        rb = b.enumerate_candidates(Q, qpos, 4)
+        assert set(zip(*[x.tolist() for x in ra])) == set(zip(*[x.tolist() for x in rb]))
+
+    def test_intervals_attached(self):
+        e = EnhancedSparseSuffixArray(np.zeros(20, np.uint8), sparseness=2)
+        assert isinstance(e.intervals, LCPIntervals)

@@ -1,0 +1,145 @@
+"""Tests for repro.index.fm_index."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import IndexError_
+from repro.index.fm_index import FMIndex
+
+from tests.conftest import dna
+
+
+def naive_count(text, pattern):
+    n, m = len(text), len(pattern)
+    return sum(
+        1 for i in range(n - m + 1) if np.array_equal(text[i : i + m], pattern)
+    )
+
+
+@pytest.fixture(scope="module")
+def fm_and_text():
+    rng = np.random.default_rng(3)
+    text = rng.integers(0, 4, size=400).astype(np.uint8)
+    return FMIndex(text, occ_rate=16, sa_rate=8), text
+
+
+class TestConstruction:
+    def test_sizes(self, fm_and_text):
+        fm, text = fm_and_text
+        assert fm.n == text.size + 1
+        assert fm.bwt.size == fm.n
+
+    def test_c_array(self, fm_and_text):
+        fm, text = fm_and_text
+        # C over the shifted alphabet: C[1] counts the single sentinel
+        assert fm.C[0] == 0
+        assert fm.C[1] == 1
+        counts = np.bincount(text, minlength=4)
+        for sym in range(4):
+            assert fm.C[sym + 2] - fm.C[sym + 1] == counts[sym]
+
+    def test_bad_rates(self):
+        with pytest.raises(IndexError_):
+            FMIndex(np.zeros(4, np.uint8), occ_rate=0)
+        with pytest.raises(IndexError_):
+            FMIndex(np.zeros(4, np.uint8), sa_rate=0)
+
+    def test_nbytes_positive(self, fm_and_text):
+        fm, _ = fm_and_text
+        assert fm.nbytes > 0
+
+
+class TestOcc:
+    def test_occ_zero_pos(self, fm_and_text):
+        fm, _ = fm_and_text
+        for sym in range(5):
+            assert fm.occ(sym, 0) == 0
+
+    def test_occ_full_equals_total(self, fm_and_text):
+        fm, _ = fm_and_text
+        for sym in range(5):
+            assert fm.occ(sym, fm.n) == int((fm.bwt == sym).sum())
+
+    def test_occ_matches_naive_everywhere(self):
+        rng = np.random.default_rng(4)
+        text = rng.integers(0, 4, size=97).astype(np.uint8)
+        fm = FMIndex(text, occ_rate=7)
+        for sym in range(5):
+            run = 0
+            for pos in range(fm.n + 1):
+                assert fm.occ(sym, pos) == run
+                assert fm.occ_scalar(sym, pos) == run
+                if pos < fm.n and fm.bwt[pos] == sym:
+                    run += 1
+
+    def test_occ_vectorized(self, fm_and_text):
+        fm, _ = fm_and_text
+        pos = np.arange(0, fm.n, 13)
+        syms = np.full(pos.size, 2, dtype=np.int64)
+        out = fm.occ(syms, pos)
+        for i, p in enumerate(pos):
+            assert out[i] == fm.occ(2, int(p))
+
+    def test_occ_out_of_range(self, fm_and_text):
+        fm, _ = fm_and_text
+        with pytest.raises(IndexError_):
+            fm.occ(0, fm.n + 1)
+
+
+class TestSearch:
+    @settings(max_examples=40, deadline=None)
+    @given(dna(min_size=1, max_size=150, alphabet=3), dna(min_size=1, max_size=6, alphabet=3))
+    def test_count_matches_naive(self, text, pattern):
+        fm = FMIndex(text, occ_rate=8, sa_rate=4)
+        assert fm.count(pattern) == naive_count(text, pattern)
+
+    def test_empty_pattern_counts_all(self, fm_and_text):
+        fm, text = fm_and_text
+        lo, hi = fm.search(np.empty(0, dtype=np.uint8))
+        assert hi - lo == fm.n
+
+    def test_absent_pattern(self):
+        text = np.zeros(20, dtype=np.uint8)
+        fm = FMIndex(text)
+        assert fm.count(np.array([1], dtype=np.uint8)) == 0
+
+    def test_pattern_longer_than_text(self):
+        text = np.zeros(3, dtype=np.uint8)
+        fm = FMIndex(text)
+        assert fm.count(np.zeros(10, dtype=np.uint8)) == 0
+
+    def test_backward_extend_scalar_matches_vector(self, fm_and_text):
+        fm, _ = fm_and_text
+        lo, hi = fm.whole_interval()
+        for sym in range(4):
+            a = fm.backward_extend(lo, hi, sym)
+            b = fm.backward_extend_scalar(lo, hi, sym)
+            assert (int(a[0]), int(a[1])) == b
+
+
+class TestLocate:
+    @settings(max_examples=25, deadline=None)
+    @given(dna(min_size=2, max_size=100, alphabet=2), dna(min_size=1, max_size=4, alphabet=2))
+    def test_locate_matches_naive(self, text, pattern):
+        fm = FMIndex(text, occ_rate=8, sa_rate=4)
+        lo, hi = fm.search(pattern)
+        got = sorted(int(x) for x in fm.locate(lo, hi))
+        expect = sorted(
+            i
+            for i in range(text.size - pattern.size + 1)
+            if np.array_equal(text[i : i + pattern.size], pattern)
+        )
+        assert got == expect
+
+    def test_full_suffix_array_is_permutation(self, fm_and_text):
+        fm, text = fm_and_text
+        sa = fm.full_suffix_array()
+        assert np.array_equal(np.sort(sa), np.arange(text.size + 1))
+
+    def test_lf_walk_consistency(self, fm_and_text):
+        fm, _ = fm_and_text
+        # LF is a bijection on rows
+        rows = np.arange(fm.n)
+        lf = fm.lf(rows)
+        assert np.array_equal(np.sort(lf), np.arange(fm.n))

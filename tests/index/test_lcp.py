@@ -1,0 +1,58 @@
+"""Tests for repro.index.lcp."""
+
+import numpy as np
+from hypothesis import given, settings
+
+from repro.index.lcp import lcp_array, lcp_kasai, naive_lcp_array
+from repro.index.suffix_array import suffix_array
+
+from tests.conftest import dna
+
+
+class TestLcpArray:
+    def test_known_example(self):
+        # "AABAA": SA = [3(AA),0(AABAA),4(A? wait) ...] compute via naive
+        codes = np.array([0, 0, 1, 0, 0], dtype=np.uint8)
+        sa = suffix_array(codes)
+        assert np.array_equal(lcp_array(codes, sa), naive_lcp_array(codes, sa))
+
+    def test_first_entry_zero(self):
+        codes = np.array([1, 0, 1], dtype=np.uint8)
+        sa = suffix_array(codes)
+        assert lcp_array(codes, sa)[0] == 0
+
+    def test_all_same_letter(self):
+        codes = np.full(8, 2, dtype=np.uint8)
+        sa = suffix_array(codes)
+        # sorted shortest-first, adjacent lcp = length of shorter suffix
+        assert lcp_array(codes, sa).tolist() == [0, 1, 2, 3, 4, 5, 6, 7]
+
+    def test_empty(self):
+        assert lcp_array(np.empty(0, np.uint8), np.empty(0, np.int64)).size == 0
+
+    def test_single(self):
+        codes = np.array([0], dtype=np.uint8)
+        assert lcp_array(codes, suffix_array(codes)).tolist() == [0]
+
+    @settings(max_examples=60)
+    @given(dna(min_size=1, max_size=100, alphabet=2))
+    def test_three_implementations_agree(self, codes):
+        sa = suffix_array(codes)
+        expect = naive_lcp_array(codes, sa)
+        assert np.array_equal(lcp_array(codes, sa), expect)
+        assert np.array_equal(lcp_kasai(codes, sa), expect)
+
+    @settings(max_examples=25)
+    @given(dna(min_size=2, max_size=120, alphabet=3))
+    def test_lcp_bounds_property(self, codes):
+        sa = suffix_array(codes)
+        lcp = lcp_array(codes, sa)
+        n = codes.size
+        # lcp[i] can never exceed the length of either suffix
+        for i in range(1, n):
+            assert lcp[i] <= n - sa[i] and lcp[i] <= n - sa[i - 1]
+        # adjacent suffixes differ at position lcp[i] (or one ends there)
+        for i in range(1, n):
+            a, b, h = sa[i - 1], sa[i], lcp[i]
+            if a + h < n and b + h < n:
+                assert codes[a + h] != codes[b + h]

@@ -1,0 +1,129 @@
+"""Tests for repro.index.matching (the batched SA search engine)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import InvalidParameterError
+from repro.index.matching import SuffixArraySearcher, sparse_suffix_positions
+from repro.index.suffix_array import suffix_array, verify_suffix_array
+
+from tests.conftest import dna, dna_pair
+
+
+def naive_candidates(R, Q, sparseness, min_len):
+    out = set()
+    for q in range(len(Q)):
+        for r in range(0, len(R), sparseness):
+            lam = 0
+            while r + lam < len(R) and q + lam < len(Q) and R[r + lam] == Q[q + lam]:
+                lam += 1
+            if lam >= min_len:
+                out.add((r, q, lam))
+    return out
+
+
+class TestConstruction:
+    def test_full_sa_matches_reference_builder(self):
+        rng = np.random.default_rng(0)
+        R = rng.integers(0, 4, 200).astype(np.uint8)
+        s = SuffixArraySearcher(R, sparseness=1)
+        assert np.array_equal(s.sa, suffix_array(R))
+
+    @settings(max_examples=40)
+    @given(dna(min_size=1, max_size=120, alphabet=3), st.integers(1, 5))
+    def test_sparse_sa_is_sorted_subset(self, R, K):
+        s = SuffixArraySearcher(R, sparseness=K)
+        expect_positions = sparse_suffix_positions(R.size, K)
+        assert sorted(s.sa.tolist()) == expect_positions.tolist()
+        # sorted in true suffix order
+        full = suffix_array(R)
+        rank = np.empty(R.size, dtype=np.int64)
+        rank[full] = np.arange(R.size)
+        assert np.array_equal(np.argsort(rank[s.sa]), np.arange(s.m))
+
+    def test_sparseness_bounds(self):
+        R = np.zeros(10, dtype=np.uint8)
+        with pytest.raises(InvalidParameterError):
+            SuffixArraySearcher(R, sparseness=0)
+        with pytest.raises(InvalidParameterError):
+            SuffixArraySearcher(R, sparseness=27)
+
+    def test_nbytes_grows_with_density(self):
+        rng = np.random.default_rng(1)
+        R = rng.integers(0, 4, 1000).astype(np.uint8)
+        full = SuffixArraySearcher(R, sparseness=1)
+        sparse = SuffixArraySearcher(R, sparseness=4)
+        assert sparse.nbytes < full.nbytes
+
+    def test_prefix_table_included_in_nbytes(self):
+        rng = np.random.default_rng(1)
+        R = rng.integers(0, 4, 200).astype(np.uint8)
+        plain = SuffixArraySearcher(R)
+        tabled = SuffixArraySearcher(R, prefix_table_k=4)
+        assert tabled.nbytes > plain.nbytes
+
+
+class TestInsertionPoints:
+    @settings(max_examples=40)
+    @given(dna_pair(max_size=80), st.integers(0, 4))
+    def test_prefix_table_equivalence(self, pair, k):
+        R, Q = pair
+        a = SuffixArraySearcher(R, sparseness=1)
+        b = SuffixArraySearcher(R, sparseness=1, prefix_table_k=max(k, 1))
+        qpos = np.arange(Q.size)
+        assert np.array_equal(a.insertion_points(Q, qpos), b.insertion_points(Q, qpos))
+
+    def test_insertion_point_definition(self):
+        rng = np.random.default_rng(2)
+        R = rng.integers(0, 3, 60).astype(np.uint8)
+        Q = rng.integers(0, 3, 40).astype(np.uint8)
+        s = SuffixArraySearcher(R)
+        ins = s.insertion_points(Q, np.arange(Q.size))
+        raw = R.tobytes()
+        for q in range(Q.size):
+            expect = sum(1 for i in range(R.size) if raw[i:] < Q.tobytes()[q:])
+            assert ins[q] == expect
+
+
+class TestEnumerateCandidates:
+    @settings(max_examples=50, deadline=None)
+    @given(dna_pair(max_size=70), st.integers(1, 4), st.integers(2, 5))
+    def test_matches_naive(self, pair, K, min_len):
+        R, Q = pair
+        s = SuffixArraySearcher(R, sparseness=K)
+        r, q, lam = s.enumerate_candidates(Q, np.arange(Q.size), min_len)
+        got = set(zip(r.tolist(), q.tolist(), lam.tolist()))
+        assert got == naive_candidates(R, Q, K, min_len)
+
+    def test_position_subset(self):
+        rng = np.random.default_rng(3)
+        R = rng.integers(0, 2, 80).astype(np.uint8)
+        Q = rng.integers(0, 2, 60).astype(np.uint8)
+        s = SuffixArraySearcher(R)
+        sub = np.array([5, 17, 33], dtype=np.int64)
+        r, q, lam = s.enumerate_candidates(Q, sub, 3)
+        assert set(q.tolist()) <= set(sub.tolist())
+        full = naive_candidates(R, Q, 1, 3)
+        expect = {(rr, qq, ll) for rr, qq, ll in full if qq in set(sub.tolist())}
+        assert set(zip(r.tolist(), q.tolist(), lam.tolist())) == expect
+
+    def test_empty_inputs(self):
+        R = np.zeros(5, dtype=np.uint8)
+        s = SuffixArraySearcher(R)
+        r, q, lam = s.enumerate_candidates(np.zeros(0, np.uint8), np.empty(0, np.int64), 1)
+        assert r.size == q.size == lam.size == 0
+
+    def test_min_len_validation(self):
+        s = SuffixArraySearcher(np.zeros(4, np.uint8))
+        with pytest.raises(InvalidParameterError):
+            s.enumerate_candidates(np.zeros(4, np.uint8), np.arange(4), 0)
+
+    def test_hot_seed_enumeration(self):
+        # every reference position matches: candidate walk must not stall
+        R = np.zeros(40, dtype=np.uint8)
+        Q = np.zeros(10, dtype=np.uint8)
+        s = SuffixArraySearcher(R)
+        r, q, lam = s.enumerate_candidates(Q, np.arange(Q.size), 5)
+        got = set(zip(r.tolist(), q.tolist(), lam.tolist()))
+        assert got == naive_candidates(R, Q, 1, 5)

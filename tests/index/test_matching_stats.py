@@ -1,0 +1,63 @@
+"""Matching-statistics cross-validation across engines."""
+
+import numpy as np
+from hypothesis import given, settings
+
+from repro.baselines import SlaMemFinder
+from repro.index.matching import SuffixArraySearcher
+
+from tests.conftest import dna_pair
+
+
+def naive_ms(R, Q):
+    out = np.zeros(len(Q), dtype=np.int64)
+    for q in range(len(Q)):
+        best = 0
+        for r in range(len(R)):
+            lam = 0
+            while r + lam < len(R) and q + lam < len(Q) and R[r + lam] == Q[q + lam]:
+                lam += 1
+            best = max(best, lam)
+        out[q] = best
+    return out
+
+
+class TestMatchingStatistics:
+    @settings(max_examples=25, deadline=None)
+    @given(dna_pair(max_size=60))
+    def test_suffix_array_matches_naive(self, pair):
+        R, Q = pair
+        s = SuffixArraySearcher(R)
+        assert np.array_equal(s.matching_statistics(Q), naive_ms(R, Q))
+
+    @settings(max_examples=15, deadline=None)
+    @given(dna_pair(max_size=60))
+    def test_fm_recurrence_matches_suffix_array(self, pair):
+        R, Q = pair
+        f = SlaMemFinder(occ_rate=8, sa_rate=4)
+        f.build_index(R)
+        s = SuffixArraySearcher(R)
+        assert np.array_equal(f.matching_statistics(Q), s.matching_statistics(Q))
+
+    def test_ms_lipschitz_property(self):
+        """MS[q] <= MS[q+1] + 1 — the classic matching-statistics bound."""
+        rng = np.random.default_rng(0)
+        R = rng.integers(0, 3, 300).astype(np.uint8)
+        Q = rng.integers(0, 3, 200).astype(np.uint8)
+        ms = SuffixArraySearcher(R).matching_statistics(Q)
+        assert (ms[:-1] <= ms[1:] + 1).all()
+
+    def test_position_subset(self):
+        rng = np.random.default_rng(1)
+        R = rng.integers(0, 3, 100).astype(np.uint8)
+        Q = rng.integers(0, 3, 80).astype(np.uint8)
+        s = SuffixArraySearcher(R)
+        full = s.matching_statistics(Q)
+        sub = s.matching_statistics(Q, np.array([3, 40, 79]))
+        assert sub.tolist() == [full[3], full[40], full[79]]
+
+    def test_identical_sequences(self):
+        R = (np.arange(50) % 4).astype(np.uint8)
+        ms = SuffixArraySearcher(R).matching_statistics(R.copy())
+        assert ms[0] == 50
+        assert (ms == np.arange(50, 0, -1)).all()

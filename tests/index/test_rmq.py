@@ -1,0 +1,62 @@
+"""Tests for repro.index.rmq."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.index.rmq import SparseTableRMQ
+
+
+class TestSparseTableRMQ:
+    def test_simple(self):
+        rmq = SparseTableRMQ(np.array([5, 2, 7, 1, 9]))
+        assert rmq.query(0, 5) == 1
+        assert rmq.query(0, 2) == 2
+        assert rmq.query(2, 3) == 7
+        assert rmq.query(3, 5) == 1
+
+    def test_empty_range(self):
+        rmq = SparseTableRMQ(np.array([3, 4]))
+        assert rmq.query(1, 1) == np.iinfo(np.int64).max
+
+    def test_custom_empty_value(self):
+        rmq = SparseTableRMQ(np.array([3]), empty_value=-7)
+        assert rmq.query(0, 0) == -7
+
+    def test_out_of_range_is_empty(self):
+        rmq = SparseTableRMQ(np.array([3, 1]))
+        assert rmq.query(-1, 1) == np.iinfo(np.int64).max
+        assert rmq.query(0, 3) == np.iinfo(np.int64).max
+
+    def test_vectorized_query(self):
+        rmq = SparseTableRMQ(np.array([4, 3, 2, 1]))
+        lo = np.array([0, 1, 2])
+        hi = np.array([2, 4, 3])
+        assert rmq.query(lo, hi).tolist() == [3, 1, 2]
+
+    def test_empty_array(self):
+        rmq = SparseTableRMQ(np.empty(0, dtype=np.int64))
+        assert rmq.query(0, 0) == np.iinfo(np.int64).max
+
+    def test_single_element(self):
+        rmq = SparseTableRMQ(np.array([42]))
+        assert rmq.query(0, 1) == 42
+
+    @settings(max_examples=60)
+    @given(st.lists(st.integers(-100, 100), min_size=1, max_size=80),
+           st.data())
+    def test_matches_naive(self, values, data):
+        arr = np.array(values, dtype=np.int64)
+        rmq = SparseTableRMQ(arr)
+        lo = data.draw(st.integers(0, arr.size - 1))
+        hi = data.draw(st.integers(lo + 1, arr.size))
+        assert rmq.query(lo, hi) == int(arr[lo:hi].min())
+        assert rmq.query_scalar(lo, hi) == int(arr[lo:hi].min())
+
+    def test_scalar_matches_vector(self):
+        rng = np.random.default_rng(1)
+        arr = rng.integers(0, 50, size=200)
+        rmq = SparseTableRMQ(arr)
+        for _ in range(50):
+            lo = int(rng.integers(0, 199))
+            hi = int(rng.integers(lo + 1, 201))
+            assert rmq.query_scalar(lo, hi) == rmq.query(lo, hi)

@@ -1,0 +1,70 @@
+"""Tests for repro.index.sais — the third, independent SA builder."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import IndexError_
+from repro.index.sais import sais_suffix_array
+from repro.index.suffix_array import naive_suffix_array, suffix_array
+
+from tests.conftest import dna
+
+
+class TestSais:
+    def test_classic_example(self):
+        # "banana" over a mapped alphabet b=1,a=0,n=2
+        codes = np.array([1, 0, 2, 0, 2, 0], dtype=np.uint8)
+        assert sais_suffix_array(codes).tolist() == [5, 3, 1, 0, 4, 2]
+
+    def test_empty_and_single(self):
+        assert sais_suffix_array(np.empty(0, dtype=np.uint8)).size == 0
+        assert sais_suffix_array(np.array([2], dtype=np.uint8)).tolist() == [0]
+
+    def test_all_same_letter(self):
+        codes = np.full(9, 1, dtype=np.uint8)
+        assert sais_suffix_array(codes).tolist() == list(range(8, -1, -1))
+
+    def test_two_letters(self):
+        codes = np.array([1, 0], dtype=np.uint8)
+        assert sais_suffix_array(codes).tolist() == [1, 0]
+
+    def test_negative_rejected(self):
+        with pytest.raises(IndexError_):
+            sais_suffix_array(np.array([-1], dtype=np.int64))
+
+    @settings(max_examples=80, deadline=None)
+    @given(dna(min_size=1, max_size=100, alphabet=2))
+    def test_three_builders_agree_binary(self, codes):
+        expect = naive_suffix_array(codes)
+        assert np.array_equal(sais_suffix_array(codes), expect)
+        assert np.array_equal(suffix_array(codes), expect)
+
+    @settings(max_examples=40, deadline=None)
+    @given(dna(min_size=1, max_size=120, alphabet=4))
+    def test_three_builders_agree_dna(self, codes):
+        expect = suffix_array(codes)
+        assert np.array_equal(sais_suffix_array(codes), expect)
+
+    def test_deep_recursion_input(self):
+        # Fibonacci-like words force recursive naming collisions
+        a, b = [0], [0, 1]
+        for _ in range(10):
+            a, b = b, b + a
+        codes = np.array(b, dtype=np.uint8)
+        assert np.array_equal(sais_suffix_array(codes), suffix_array(codes))
+
+    def test_periodic_input(self):
+        codes = np.tile(np.array([0, 1, 1, 0, 1], dtype=np.uint8), 25)
+        assert np.array_equal(sais_suffix_array(codes), suffix_array(codes))
+
+    def test_large_alphabet(self):
+        rng = np.random.default_rng(0)
+        codes = rng.integers(0, 200, 150).astype(np.int64)
+        assert np.array_equal(sais_suffix_array(codes), suffix_array(codes))
+
+    def test_realistic_dna(self):
+        from repro.sequence.synthetic import markov_dna, plant_repeats
+
+        codes = plant_repeats(markov_dna(2000, seed=1), seed=2)
+        assert np.array_equal(sais_suffix_array(codes), suffix_array(codes))

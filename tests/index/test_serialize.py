@@ -1,0 +1,97 @@
+"""Tests for index persistence."""
+
+import numpy as np
+import pytest
+
+from repro.errors import IndexError_
+from repro.index.kmer_index import build_kmer_index
+from repro.index.matching import SuffixArraySearcher
+from repro.index.serialize import (
+    load_kmer_index,
+    load_searcher,
+    save_kmer_index,
+    save_searcher,
+)
+
+
+@pytest.fixture
+def ref(rng):
+    return rng.integers(0, 4, 500).astype(np.uint8)
+
+
+class TestKmerIndexRoundTrip:
+    def test_round_trip(self, ref, tmp_path):
+        idx = build_kmer_index(ref, seed_length=4, step=3)
+        p = tmp_path / "idx.npz"
+        save_kmer_index(idx, p)
+        back = load_kmer_index(p)
+        assert back.seed_length == 4 and back.step == 3
+        assert np.array_equal(back.ptrs, idx.ptrs)
+        assert np.array_equal(back.locs, idx.locs)
+
+    def test_loaded_index_matches(self, ref, tmp_path):
+        import repro
+
+        idx = build_kmer_index(ref, seed_length=4, step=3)
+        p = tmp_path / "idx.npz"
+        save_kmer_index(idx, p)
+        back = load_kmer_index(p)
+        # identical lookups
+        seeds = np.arange(50, dtype=np.int64)
+        a = idx.lookup(seeds)
+        b = back.lookup(seeds)
+        assert np.array_equal(a[0], b[0]) and np.array_equal(a[1], b[1])
+
+    def test_corruption_detected(self, ref, tmp_path):
+        idx = build_kmer_index(ref, seed_length=3, step=1)
+        p = tmp_path / "idx.npz"
+        # corrupt locs ordering before saving
+        bad_locs = idx.locs.copy()
+        sizes = np.diff(idx.ptrs)
+        seed = int(np.argmax(sizes))
+        lo = int(idx.ptrs[seed])
+        bad_locs[lo], bad_locs[lo + 1] = bad_locs[lo + 1], bad_locs[lo].copy()
+        from dataclasses import replace
+
+        save_kmer_index(replace(idx, locs=bad_locs), p)
+        with pytest.raises(IndexError_, match="corrupt"):
+            load_kmer_index(p)
+
+    def test_wrong_magic(self, ref, tmp_path):
+        s = SuffixArraySearcher(ref)
+        p = tmp_path / "sa.npz"
+        save_searcher(s, p)
+        with pytest.raises(IndexError_, match="not a"):
+            load_kmer_index(p)
+
+
+class TestSearcherRoundTrip:
+    @pytest.mark.parametrize("sparseness,k", [(1, 0), (1, 3), (4, 3)])
+    def test_round_trip_equivalent_queries(self, ref, tmp_path, rng, sparseness, k):
+        s = SuffixArraySearcher(ref, sparseness=sparseness, prefix_table_k=k)
+        p = tmp_path / "sa.npz"
+        save_searcher(s, p)
+        back = load_searcher(p)
+        Q = rng.integers(0, 4, 300).astype(np.uint8)
+        qpos = np.arange(Q.size)
+        got = back.enumerate_candidates(Q, qpos, 5)
+        expect = s.enumerate_candidates(Q, qpos, 5)
+        assert all(np.array_equal(g, e) for g, e in zip(got, expect))
+
+    def test_corrupt_sa_detected(self, ref, tmp_path):
+        s = SuffixArraySearcher(ref)
+        s.sa[0], s.sa[1] = s.sa[1], s.sa[0].copy()
+        p = tmp_path / "sa.npz"
+        save_searcher(s, p)
+        with pytest.raises(IndexError_, match="corrupt"):
+            load_searcher(p)
+
+    def test_future_version_rejected(self, ref, tmp_path):
+        s = SuffixArraySearcher(ref)
+        p = tmp_path / "sa.npz"
+        save_searcher(s, p)
+        data = dict(np.load(p, allow_pickle=False))
+        data["version"] = np.array(99)
+        np.savez_compressed(p, **data)
+        with pytest.raises(IndexError_, match="newer"):
+            load_searcher(p)

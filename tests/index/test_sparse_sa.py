@@ -1,0 +1,48 @@
+"""Tests for repro.index.sparse_sa."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.index.sparse_sa import SparseSuffixArray
+
+
+class TestSparseSuffixArray:
+    def test_candidate_threshold(self):
+        R = np.zeros(50, dtype=np.uint8)
+        s = SparseSuffixArray(R, sparseness=4)
+        assert s.candidate_threshold(20) == 17
+        assert s.candidate_threshold(4) == 1
+        assert s.candidate_threshold(2) == 1  # floor at 1
+
+    def test_threshold_validation(self):
+        s = SparseSuffixArray(np.zeros(10, np.uint8), sparseness=2)
+        with pytest.raises(InvalidParameterError):
+            s.candidate_threshold(0)
+
+    def test_memory_reduction(self):
+        rng = np.random.default_rng(0)
+        R = rng.integers(0, 4, 1000).astype(np.uint8)
+        s = SparseSuffixArray(R, sparseness=4)
+        assert abs(s.memory_reduction - 0.25) < 0.01
+
+    def test_anchor_guarantee(self):
+        """Eq-1-style guarantee: every MEM of length >= L contains a sampled
+        anchor whose agreement is >= threshold — checked exhaustively."""
+        rng = np.random.default_rng(1)
+        R = rng.integers(0, 2, 120).astype(np.uint8)
+        Q = rng.integers(0, 2, 100).astype(np.uint8)
+        K, L = 3, 8
+        s = SparseSuffixArray(R, sparseness=K)
+        thr = s.candidate_threshold(L)
+        r_c, q_c, lam_c = s.enumerate_candidates(Q, np.arange(Q.size), thr)
+        anchors = set(zip(r_c.tolist(), q_c.tolist()))
+        from repro.core.reference import brute_force_mems
+
+        for mem in brute_force_mems(R, Q, L):
+            r0, q0, length = int(mem["r"]), int(mem["q"]), int(mem["length"])
+            has_anchor = any(
+                (r0 + j) % K == 0 and (r0 + j, q0 + j) in anchors
+                for j in range(min(K, length))
+            )
+            assert has_anchor, (r0, q0, length)

@@ -1,0 +1,107 @@
+"""Tests for repro.index.suffix_array."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import IndexError_
+from repro.index.suffix_array import (
+    naive_suffix_array,
+    rank_array,
+    suffix_array,
+    verify_suffix_array,
+)
+
+from tests.conftest import dna
+
+
+class TestSuffixArray:
+    def test_known_banana_like(self):
+        # "ABAAB" over codes: suffixes sorted: AAB(2) AB(3) ABAAB(0) B(4) BAAB(1)
+        codes = np.array([0, 1, 0, 0, 1], dtype=np.uint8)
+        assert suffix_array(codes).tolist() == [2, 3, 0, 4, 1]
+
+    def test_empty(self):
+        assert suffix_array(np.empty(0, dtype=np.uint8)).size == 0
+
+    def test_single(self):
+        assert suffix_array(np.array([2], dtype=np.uint8)).tolist() == [0]
+
+    def test_all_same_letter(self):
+        # shorter suffixes first under the sentinel convention
+        codes = np.full(6, 3, dtype=np.uint8)
+        assert suffix_array(codes).tolist() == [5, 4, 3, 2, 1, 0]
+
+    def test_strictly_decreasing(self):
+        codes = np.array([3, 2, 1, 0], dtype=np.uint8)
+        assert suffix_array(codes).tolist() == [3, 2, 1, 0]
+
+    def test_strictly_increasing(self):
+        codes = np.array([0, 1, 2, 3], dtype=np.uint8)
+        assert suffix_array(codes).tolist() == [0, 1, 2, 3]
+
+    def test_negative_symbols_rejected(self):
+        with pytest.raises(IndexError_):
+            suffix_array(np.array([-1, 0], dtype=np.int64))
+
+    def test_large_alphabet_symbols(self):
+        codes = np.array([100, 5, 100, 5], dtype=np.int64)
+        assert suffix_array(codes).tolist() == naive_suffix_array_like(codes)
+
+    @settings(max_examples=80)
+    @given(dna(min_size=1, max_size=120, alphabet=2))
+    def test_matches_naive_binary(self, codes):
+        assert np.array_equal(suffix_array(codes), naive_suffix_array(codes))
+
+    @settings(max_examples=40)
+    @given(dna(min_size=1, max_size=120, alphabet=4))
+    def test_matches_naive_dna(self, codes):
+        assert np.array_equal(suffix_array(codes), naive_suffix_array(codes))
+
+    def test_periodic_adversarial(self):
+        codes = np.tile(np.array([0, 1], dtype=np.uint8), 40)
+        assert verify_suffix_array(codes, suffix_array(codes))
+
+    def test_fibonacci_word(self):
+        a, b = [0], [0, 1]
+        for _ in range(8):
+            a, b = b, b + a
+        codes = np.array(b, dtype=np.uint8)
+        assert np.array_equal(suffix_array(codes), naive_suffix_array(codes))
+
+
+def naive_suffix_array_like(codes):
+    items = sorted(range(len(codes)), key=lambda i: list(codes[i:]))
+    return items
+
+
+class TestRankArray:
+    def test_inverse_permutation(self):
+        codes = np.array([0, 1, 0, 2, 1], dtype=np.uint8)
+        sa = suffix_array(codes)
+        rank = rank_array(sa)
+        assert np.array_equal(rank[sa], np.arange(sa.size))
+        assert np.array_equal(sa[rank], np.arange(sa.size))
+
+
+class TestVerify:
+    def test_accepts_correct(self):
+        codes = np.array([0, 1, 2, 0, 1], dtype=np.uint8)
+        assert verify_suffix_array(codes, suffix_array(codes))
+
+    def test_rejects_swapped(self):
+        codes = np.array([0, 1, 2, 0, 1], dtype=np.uint8)
+        sa = suffix_array(codes)
+        sa[0], sa[1] = sa[1], sa[0]
+        assert not verify_suffix_array(codes, sa)
+
+    def test_rejects_non_permutation(self):
+        codes = np.array([0, 1], dtype=np.uint8)
+        assert not verify_suffix_array(codes, np.array([0, 0]))
+
+    def test_rejects_wrong_size(self):
+        codes = np.array([0, 1], dtype=np.uint8)
+        assert not verify_suffix_array(codes, np.array([0]))
+
+    def test_empty_ok(self):
+        assert verify_suffix_array(np.empty(0, np.uint8), np.empty(0, np.int64))

@@ -1,0 +1,118 @@
+"""Tests for repro.sequence.alphabet."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import InvalidSequenceError
+from repro.sequence.alphabet import (
+    ALPHABET,
+    ALPHABET_SIZE,
+    BASE_TO_CODE,
+    CODE_TO_BASE,
+    decode,
+    encode,
+    is_valid_codes,
+    random_dna,
+)
+
+
+class TestEncode:
+    def test_paper_code_assignment(self):
+        # §III-A: A=00, C=01, G=10, T=11
+        assert BASE_TO_CODE == {"A": 0, "C": 1, "G": 2, "T": 3}
+
+    def test_simple_string(self):
+        assert encode("ACGT").tolist() == [0, 1, 2, 3]
+
+    def test_lower_case(self):
+        assert encode("acgt").tolist() == [0, 1, 2, 3]
+
+    def test_mixed_case(self):
+        assert encode("AcGt").tolist() == [0, 1, 2, 3]
+
+    def test_bytes_input(self):
+        assert encode(b"TTAA").tolist() == [3, 3, 0, 0]
+
+    def test_empty(self):
+        assert encode("").size == 0
+
+    def test_invalid_letter_raises_with_position(self):
+        with pytest.raises(InvalidSequenceError, match="position 2"):
+            encode("ACNT")
+
+    def test_n_is_rejected(self):
+        with pytest.raises(InvalidSequenceError):
+            encode("N")
+
+    def test_code_array_passthrough(self):
+        arr = np.array([0, 3, 2], dtype=np.uint8)
+        out = encode(arr)
+        assert out.tolist() == [0, 3, 2]
+
+    def test_code_array_out_of_range(self):
+        with pytest.raises(InvalidSequenceError):
+            encode(np.array([0, 4], dtype=np.uint8))
+
+    def test_wrong_type(self):
+        with pytest.raises(TypeError):
+            encode(12345)
+
+
+class TestDecode:
+    def test_round_trip_all_bases(self):
+        assert decode(encode(ALPHABET)) == ALPHABET
+
+    @given(st.text(alphabet="ACGT", max_size=200))
+    def test_round_trip_property(self, s):
+        assert decode(encode(s)) == s
+
+    def test_out_of_range(self):
+        with pytest.raises(InvalidSequenceError):
+            decode(np.array([5], dtype=np.uint8))
+
+    def test_code_to_base_consistent(self):
+        for code, base in CODE_TO_BASE.items():
+            assert BASE_TO_CODE[base] == code
+
+
+class TestValidation:
+    def test_valid(self):
+        assert is_valid_codes(np.array([0, 1, 2, 3], dtype=np.uint8))
+
+    def test_empty_valid(self):
+        assert is_valid_codes(np.empty(0, dtype=np.uint8))
+
+    def test_wrong_dtype(self):
+        assert not is_valid_codes(np.array([0, 1], dtype=np.int64))
+
+    def test_out_of_range_invalid(self):
+        assert not is_valid_codes(np.array([0, 9], dtype=np.uint8))
+
+    def test_2d_invalid(self):
+        assert not is_valid_codes(np.zeros((2, 2), dtype=np.uint8))
+
+
+class TestRandomDna:
+    def test_length_and_range(self):
+        seq = random_dna(1000, seed=1)
+        assert seq.size == 1000
+        assert seq.dtype == np.uint8
+        assert set(np.unique(seq)) <= set(range(ALPHABET_SIZE))
+
+    def test_deterministic(self):
+        assert np.array_equal(random_dna(100, seed=7), random_dna(100, seed=7))
+
+    def test_different_seeds_differ(self):
+        assert not np.array_equal(random_dna(100, seed=1), random_dna(100, seed=2))
+
+    def test_weighted_composition(self):
+        seq = random_dna(20_000, seed=3, p=[0.7, 0.1, 0.1, 0.1])
+        assert (seq == 0).mean() > 0.6
+
+    def test_zero_length(self):
+        assert random_dna(0).size == 0
+
+    def test_negative_raises(self):
+        with pytest.raises(InvalidSequenceError):
+            random_dna(-1)

@@ -1,0 +1,89 @@
+"""Tests for repro.sequence.datasets (Table II analogues)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GpuMemError
+from repro.sequence.datasets import (
+    DATASETS,
+    EXPERIMENT_CONFIGS,
+    PAIR_RECIPES,
+    SCALE,
+    load_dataset,
+    load_experiment,
+)
+
+
+class TestDatasetRegistry:
+    def test_all_table2_names_present(self):
+        assert set(DATASETS) == {
+            "chr2h", "chrI", "chr1m", "chrXh", "chrXc",
+            "dmelanogaster", "EcoliK12", "chrXII",
+        }
+
+    def test_lengths_match_paper_ratio(self):
+        for spec in DATASETS.values():
+            expect = round(spec.paper_length_mbp * 1e6 / SCALE)
+            assert spec.length == expect, spec.name
+
+    def test_length_ordering_matches_paper(self):
+        # Table II is ordered by decreasing length
+        lengths = [DATASETS[n].length for n in
+                   ("chr2h", "chrI", "chr1m", "chrXh", "chrXc",
+                    "dmelanogaster", "EcoliK12", "chrXII")]
+        assert lengths == sorted(lengths, reverse=True)
+
+    def test_load_small_dataset(self):
+        seq = load_dataset("chrXII")
+        assert seq.size == DATASETS["chrXII"].length
+        assert seq.dtype == np.uint8 and seq.max() <= 3
+
+    def test_load_is_memoized(self):
+        assert load_dataset("chrXII") is load_dataset("chrXII")
+
+    def test_unknown_dataset(self):
+        with pytest.raises(GpuMemError, match="unknown dataset"):
+            load_dataset("chrZZ")
+
+
+class TestExperimentConfigs:
+    def test_nine_rows(self):
+        assert len(EXPERIMENT_CONFIGS) == 9
+
+    def test_paper_row_order(self):
+        keys = [c.key for c in EXPERIMENT_CONFIGS]
+        assert keys == [
+            "chr1m/chr2h/L100", "chr1m/chr2h/L50", "chr1m/chr2h/L30",
+            "chrXc/chrXh/L50", "chrXc/chrXh/L30",
+            "dmelanogaster/EcoliK12/L20", "dmelanogaster/EcoliK12/L15",
+            "chrXII/chrI/L20", "chrXII/chrI/L10",
+        ]
+
+    def test_seed_length_never_exceeds_L(self):
+        # the paper drops ℓs for the L=10 row; our configs must too
+        for c in EXPERIMENT_CONFIGS:
+            assert c.seed_length <= c.min_length
+
+    def test_every_pair_has_recipe(self):
+        for c in EXPERIMENT_CONFIGS:
+            assert (c.reference, c.query) in PAIR_RECIPES
+
+    def test_load_experiment_shapes(self):
+        cfg = EXPERIMENT_CONFIGS[7]  # chrXII/chrI — smallest
+        ref, qry = load_experiment(cfg)
+        assert ref.size == DATASETS[cfg.reference].length
+        assert qry.size == DATASETS[cfg.query].length
+
+    def test_same_pair_shares_sequences(self):
+        # the three L values of chr1m/chr2h must reuse identical arrays
+        a = load_experiment(EXPERIMENT_CONFIGS[7])
+        b = load_experiment(EXPERIMENT_CONFIGS[8])
+        assert a[0] is b[0] and a[1] is b[1]
+
+    def test_pair_has_homology(self):
+        import repro
+
+        cfg = EXPERIMENT_CONFIGS[7]
+        ref, qry = load_experiment(cfg)
+        mems = repro.find_mems(ref, qry[:50_000], min_length=cfg.min_length)
+        assert len(mems) > 0

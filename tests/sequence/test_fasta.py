@@ -1,0 +1,112 @@
+"""Tests for repro.sequence.fasta."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidSequenceError
+from repro.sequence.alphabet import encode
+from repro.sequence.fasta import FastaRecord, read_fasta, write_fasta
+
+
+def roundtrip(text: str, **kwargs):
+    return read_fasta(io.BytesIO(text.encode()), **kwargs)
+
+
+class TestReadFasta:
+    def test_single_record(self):
+        recs = roundtrip(">chr1 test\nACGT\nACGT\n")
+        assert len(recs) == 1
+        assert recs[0].header == "chr1 test"
+        assert np.array_equal(recs[0].codes, encode("ACGTACGT"))
+
+    def test_multi_record(self):
+        recs = roundtrip(">a\nAC\n>b\nGT\n")
+        assert [r.header for r in recs] == ["a", "b"]
+        assert recs[1].codes.tolist() == [2, 3]
+
+    def test_blank_lines_ignored(self):
+        recs = roundtrip(">a\n\nAC\n\nGT\n")
+        assert recs[0].codes.tolist() == [0, 1, 2, 3]
+
+    def test_crlf(self):
+        recs = roundtrip(">a\r\nACGT\r\n")
+        assert recs[0].codes.tolist() == [0, 1, 2, 3]
+
+    def test_lowercase_sequence(self):
+        recs = roundtrip(">a\nacgt\n")
+        assert recs[0].codes.tolist() == [0, 1, 2, 3]
+
+    def test_empty_record_allowed(self):
+        recs = roundtrip(">a\n>b\nAC\n")
+        assert len(recs) == 2
+        assert recs[0].codes.size == 0
+
+    def test_no_header_raises(self):
+        with pytest.raises(InvalidSequenceError):
+            roundtrip("ACGT\n")
+
+    def test_empty_file_raises(self):
+        with pytest.raises(InvalidSequenceError):
+            roundtrip("")
+
+    def test_n_policy_error(self):
+        with pytest.raises(InvalidSequenceError, match="non-ACGT"):
+            roundtrip(">a\nACNT\n")
+
+    def test_n_policy_skip(self):
+        recs = roundtrip(">a\nACNNT\n", invalid="skip")
+        assert recs[0].codes.tolist() == [0, 1, 3]
+        assert recs[0].dropped == 2
+
+    def test_n_policy_random_keeps_coordinates(self):
+        recs = roundtrip(">a\nACNNT\n", invalid="random", seed=5)
+        assert len(recs[0]) == 5
+        assert recs[0].codes[0] == 0 and recs[0].codes[4] == 3
+        assert recs[0].dropped == 2
+
+    def test_n_policy_random_deterministic(self):
+        a = roundtrip(">a\nANNNT\n", invalid="random", seed=5)[0].codes
+        b = roundtrip(">a\nANNNT\n", invalid="random", seed=5)[0].codes
+        assert np.array_equal(a, b)
+
+    def test_unknown_policy(self):
+        with pytest.raises(ValueError):
+            roundtrip(">a\nA\n", invalid="wat")
+
+    def test_from_path(self, tmp_path):
+        p = tmp_path / "x.fa"
+        p.write_text(">a\nACGT\n")
+        recs = read_fasta(p)
+        assert recs[0].codes.tolist() == [0, 1, 2, 3]
+
+
+class TestWriteFasta:
+    def test_round_trip_via_file(self, tmp_path):
+        p = tmp_path / "out.fa"
+        codes = encode("ACGT" * 30)
+        write_fasta(p, [("myseq", codes)], width=10)
+        recs = read_fasta(p)
+        assert recs[0].header == "myseq"
+        assert np.array_equal(recs[0].codes, codes)
+
+    def test_wrapping(self):
+        buf = io.StringIO()
+        write_fasta(buf, [("a", encode("ACGTACGT"))], width=3)
+        lines = buf.getvalue().splitlines()
+        assert lines == [">a", "ACG", "TAC", "GT"]
+
+    def test_record_objects(self):
+        buf = io.StringIO()
+        write_fasta(buf, [FastaRecord(header="r", codes=encode("TT"))])
+        assert buf.getvalue() == ">r\nTT\n"
+
+    def test_multi_record_round_trip(self, tmp_path):
+        p = tmp_path / "multi.fa"
+        write_fasta(p, [("a", encode("AC")), ("b", encode("GGG"))])
+        recs = read_fasta(p)
+        assert [(r.header, r.codes.tolist()) for r in recs] == [
+            ("a", [0, 1]),
+            ("b", [2, 2, 2]),
+        ]

@@ -1,0 +1,114 @@
+"""Tests for repro.sequence.formats (MUMmer / PAF interchange)."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.errors import InvalidSequenceError
+from repro.sequence.formats import (
+    PafRecord,
+    alignment_to_paf,
+    mems_to_paf,
+    read_mummer,
+    read_paf,
+    write_mummer,
+    write_paf,
+)
+from repro.types import MatchSet, triplets_from_tuples
+
+
+@pytest.fixture
+def mems():
+    return MatchSet(triplets_from_tuples([(4, 0, 10), (20, 15, 7)]))
+
+
+class TestMummerFormat:
+    def test_write_one_based(self, mems):
+        text = write_mummer(mems)
+        rows = [tuple(int(x) for x in line.split()) for line in text.splitlines()]
+        assert (5, 1, 10) in rows and (21, 16, 7) in rows
+
+    def test_round_trip(self, mems):
+        parsed = read_mummer(write_mummer(mems))
+        assert parsed[None] == mems
+
+    def test_round_trip_with_header(self, mems):
+        parsed = read_mummer(write_mummer(mems, header="read7"))
+        assert parsed["read7"] == mems
+
+    def test_multi_section(self):
+        text = "> a\n1 1 3\n> b\n2 2 4\n"
+        parsed = read_mummer(text)
+        assert set(parsed["a"].as_tuples()) == {(0, 0, 3)}
+        assert set(parsed["b"].as_tuples()) == {(1, 1, 4)}
+
+    def test_empty(self):
+        assert write_mummer(MatchSet(triplets_from_tuples([]))) == ""
+
+    def test_bad_field_count(self):
+        with pytest.raises(InvalidSequenceError, match="expected"):
+            read_mummer("1 2\n")
+
+    def test_bad_integer(self):
+        with pytest.raises(InvalidSequenceError, match="non-integer"):
+            read_mummer("1 x 3\n")
+
+    def test_zero_based_rejected(self):
+        with pytest.raises(InvalidSequenceError, match="1-based"):
+            read_mummer("0 1 3\n")
+
+
+class TestPaf:
+    def test_mems_to_paf_columns(self, mems):
+        recs = mems_to_paf(mems, query_name="q", query_len=100,
+                           target_name="t", target_len=200)
+        assert len(recs) == 2
+        rec = next(r for r in recs if r.target_start == 4)
+        assert rec.query_start == 0 and rec.query_end == 10
+        assert rec.n_match == rec.alignment_len == 10
+        assert "cg:Z:10M" in rec.tags
+
+    def test_paf_line_has_12_plus_columns(self, mems):
+        recs = mems_to_paf(mems, query_name="q", query_len=100,
+                           target_name="t", target_len=200)
+        parts = recs[0].line().split("\t")
+        assert len(parts) >= 12
+
+    def test_round_trip(self, mems):
+        recs = mems_to_paf(mems, query_name="q", query_len=100,
+                           target_name="t", target_len=200)
+        parsed = read_paf(write_paf(recs))
+        assert parsed == recs
+
+    def test_bad_strand(self, mems):
+        with pytest.raises(InvalidSequenceError):
+            mems_to_paf(mems, query_name="q", query_len=1,
+                        target_name="t", target_len=1, strand="?")
+
+    def test_read_rejects_short_lines(self):
+        with pytest.raises(InvalidSequenceError, match="12 columns"):
+            read_paf("a\tb\tc\n")
+
+    def test_read_rejects_bad_numbers(self):
+        line = "\t".join(["q", "x", "0", "1", "+", "t", "9", "0", "1", "1", "1", "0"])
+        with pytest.raises(InvalidSequenceError):
+            read_paf(line)
+
+    def test_alignment_to_paf_end_to_end(self):
+        from repro.align import align_from_anchors
+        from repro.core.chaining import chain_anchors
+        from repro.sequence.synthetic import markov_dna, mutate
+
+        R = markov_dna(2000, seed=11)
+        Q = mutate(R, rate=0.03, seed=12)
+        m = repro.find_mems(R, Q, min_length=15, seed_length=7)
+        aln = align_from_anchors(R, Q, chain_anchors(m))
+        rec = alignment_to_paf(aln, query_name="q", query_len=Q.size,
+                               target_name="t", target_len=R.size)
+        assert rec.n_match == aln.n_match
+        assert rec.alignment_len >= rec.n_match
+        assert any(t.startswith("cg:Z:") for t in rec.tags)
+        # PAF invariants: spans consistent with the CIGAR consumption
+        r_used, q_used = aln.consumes()
+        assert rec.target_end - rec.target_start == r_used
+        assert rec.query_end - rec.query_start == q_used

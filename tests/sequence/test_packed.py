@@ -1,0 +1,136 @@
+"""Tests for repro.sequence.packed."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import InvalidSequenceError
+from repro.sequence.packed import (
+    BASES_PER_LIMB,
+    PackedSequence,
+    kmer_codes,
+    pack_bits,
+    unpack_bits,
+)
+
+from tests.conftest import dna
+
+
+class TestPackBits:
+    def test_round_trip_exact_multiple(self):
+        codes = np.array([0, 1, 2, 3, 3, 2, 1, 0], dtype=np.uint8)
+        assert np.array_equal(unpack_bits(pack_bits(codes), 8), codes)
+
+    @given(dna(max_size=300))
+    def test_round_trip_property(self, codes):
+        assert np.array_equal(unpack_bits(pack_bits(codes), codes.size), codes)
+
+    def test_packed_size(self):
+        assert pack_bits(np.zeros(9, dtype=np.uint8)).size == 3  # ceil(9/4)
+
+    def test_packing_density(self):
+        # 2 bits/base: 4 bases per byte, the paper's storage (§IV)
+        codes = np.zeros(4000, dtype=np.uint8)
+        assert pack_bits(codes).nbytes == 1000
+
+    def test_unpack_too_many_raises(self):
+        with pytest.raises(InvalidSequenceError):
+            unpack_bits(np.zeros(1, dtype=np.uint8), 5)
+
+    def test_known_bit_layout(self):
+        # bases [0,1,2,3] -> byte 0b11100100 = 228 (little-endian in byte)
+        assert pack_bits(np.array([0, 1, 2, 3], dtype=np.uint8))[0] == 0b11100100
+
+
+class TestKmerCodes:
+    def test_manual_example(self):
+        # "ACGT": 2-mers AC=0*4+1=1, CG=1*4+2=6, GT=2*4+3=11
+        codes = np.array([0, 1, 2, 3], dtype=np.uint8)
+        assert kmer_codes(codes, 2).tolist() == [1, 6, 11]
+
+    def test_k_equals_length(self):
+        codes = np.array([3, 0], dtype=np.uint8)
+        assert kmer_codes(codes, 2).tolist() == [12]
+
+    def test_k_longer_than_seq(self):
+        assert kmer_codes(np.array([1], dtype=np.uint8), 2).size == 0
+
+    @given(dna(min_size=1, max_size=100), st.integers(1, 6))
+    def test_matches_naive(self, codes, k):
+        got = kmer_codes(codes, k)
+        expect = [
+            sum(int(codes[i + j]) * 4 ** (k - 1 - j) for j in range(k))
+            for i in range(max(0, codes.size - k + 1))
+        ]
+        assert got.tolist() == expect
+
+    def test_invalid_k(self):
+        with pytest.raises(InvalidSequenceError):
+            kmer_codes(np.zeros(5, dtype=np.uint8), 0)
+        with pytest.raises(InvalidSequenceError):
+            kmer_codes(np.zeros(5, dtype=np.uint8), 32)
+
+    def test_values_in_range(self):
+        rng = np.random.default_rng(0)
+        codes = rng.integers(0, 4, 500).astype(np.uint8)
+        km = kmer_codes(codes, 8)
+        assert km.min() >= 0 and km.max() < 4**8
+
+
+class TestPackedSequence:
+    def test_from_string(self):
+        seq = PackedSequence("ACGTACGT")
+        assert len(seq) == 8
+        assert seq.to_string() == "ACGTACGT"
+
+    def test_slicing(self):
+        seq = PackedSequence("ACGTACGT")
+        assert seq[2:5].to_string() == "GTA"
+
+    def test_scalar_index(self):
+        assert PackedSequence("ACGT")[3] == 3
+
+    def test_equality(self):
+        assert PackedSequence("ACG") == PackedSequence("ACG")
+        assert PackedSequence("ACG") != PackedSequence("ACT")
+
+    def test_unhashable(self):
+        with pytest.raises(TypeError):
+            hash(PackedSequence("A"))
+
+    def test_packed_footprint(self):
+        seq = PackedSequence("A" * 1000)
+        assert seq.nbytes_packed == 250
+
+    def test_code_cache_drop_and_recover(self):
+        seq = PackedSequence("ACGTTGCA")
+        before = seq.codes().copy()
+        seq.drop_code_cache()
+        assert np.array_equal(seq.codes(), before)
+
+    def test_kmers_delegates(self):
+        seq = PackedSequence("ACGT")
+        assert seq.kmers(2).tolist() == [1, 6, 11]
+
+    def test_repr_contains_length(self):
+        assert "n=4" in repr(PackedSequence("ACGT"))
+
+    def test_limbs_prefix_ordering(self):
+        # limb value of a 32-base window preserves lexicographic order
+        a = PackedSequence("A" * 10 + "C" + "A" * 30)
+        b = PackedSequence("A" * 10 + "G" + "A" * 30)
+        la = a.limbs(np.array([0]), 1)[0, 0]
+        lb = b.limbs(np.array([0]), 1)[0, 0]
+        assert la < lb
+
+    def test_limbs_shape(self):
+        seq = PackedSequence("ACGT" * 20)
+        out = seq.limbs(np.array([0, 5, 40]), 2)
+        assert out.shape == (3, 2)
+        assert out.dtype == np.uint64
+
+    def test_limbs_zero_padding_at_end(self):
+        seq = PackedSequence("T")
+        limb = seq.limbs(np.array([0]), 1)[0, 0]
+        # T=3 in the top 2 bits, rest zero-padded
+        assert limb == np.uint64(3) << np.uint64(2 * (BASES_PER_LIMB - 1))

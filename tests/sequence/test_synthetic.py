@@ -1,0 +1,172 @@
+"""Tests for repro.sequence.synthetic."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.errors import InvalidSequenceError
+from repro.sequence.synthetic import (
+    SyntheticGenomeSpec,
+    markov_dna,
+    mutate,
+    plant_homology,
+    plant_repeats,
+    synthesize_pair,
+)
+
+
+class TestMarkovDna:
+    def test_length(self):
+        assert markov_dna(1234, seed=1).size == 1234
+
+    def test_zero_length(self):
+        assert markov_dna(0).size == 0
+
+    def test_deterministic(self):
+        assert np.array_equal(markov_dna(500, seed=3), markov_dna(500, seed=3))
+
+    def test_codes_in_range(self):
+        seq = markov_dna(5000, seed=1)
+        assert seq.dtype == np.uint8 and seq.max() <= 3
+
+    def test_composition_bias(self):
+        seq = markov_dna(50_000, seed=2, composition=(0.6, 0.2, 0.1, 0.1))
+        assert (seq == 0).mean() > 0.5
+
+    def test_self_transition_creates_runs(self):
+        smooth = markov_dna(50_000, seed=4, self_transition=0.8)
+        rough = markov_dna(50_000, seed=4, self_transition=0.0)
+        runs_smooth = (np.diff(smooth) != 0).mean()
+        runs_rough = (np.diff(rough) != 0).mean()
+        assert runs_smooth < runs_rough
+
+    def test_negative_length(self):
+        with pytest.raises(InvalidSequenceError):
+            markov_dna(-1)
+
+    def test_bad_self_transition(self):
+        with pytest.raises(InvalidSequenceError):
+            markov_dna(10, self_transition=1.0)
+
+    def test_bad_composition(self):
+        with pytest.raises(InvalidSequenceError):
+            markov_dna(10, composition=(1.0, 1.0, 0.0, 0.0))
+
+
+class TestMutate:
+    def test_rate_zero_is_identity(self):
+        seq = markov_dna(1000, seed=1)
+        assert np.array_equal(mutate(seq, rate=0.0), seq)
+
+    def test_rate_changes_about_right_fraction(self):
+        seq = markov_dna(50_000, seed=1)
+        out = mutate(seq, rate=0.1, seed=2)
+        frac = (out != seq).mean()
+        assert 0.08 < frac < 0.12
+
+    def test_substitutions_always_change_base(self):
+        seq = np.zeros(10_000, dtype=np.uint8)
+        out = mutate(seq, rate=1.0, seed=3)
+        assert (out != 0).all()
+
+    def test_does_not_modify_input(self):
+        seq = markov_dna(100, seed=1)
+        before = seq.copy()
+        mutate(seq, rate=0.5, seed=2)
+        assert np.array_equal(seq, before)
+
+    def test_indels_change_length(self):
+        seq = markov_dna(10_000, seed=1)
+        out = mutate(seq, rate=0.0, indel_rate=0.01, seed=2)
+        assert out.size != seq.size
+
+    def test_deterministic(self):
+        seq = markov_dna(1000, seed=1)
+        a = mutate(seq, rate=0.05, indel_rate=0.01, seed=9)
+        b = mutate(seq, rate=0.05, indel_rate=0.01, seed=9)
+        assert np.array_equal(a, b)
+
+    def test_empty(self):
+        assert mutate(np.empty(0, dtype=np.uint8), rate=0.5).size == 0
+
+    def test_bad_rate(self):
+        with pytest.raises(InvalidSequenceError):
+            mutate(np.zeros(3, dtype=np.uint8), rate=1.5)
+
+
+class TestPlantRepeats:
+    def test_creates_hot_seeds(self):
+        # i.i.d. base so the only hot seeds are the planted family's
+        base = repro.random_dna(50_000, seed=1)
+        out = plant_repeats(
+            base, seed=2, n_families=2, family_length=(50, 80),
+            copies_per_family=(40, 60), copy_divergence=0.0,
+        )
+        from repro.sequence.packed import kmer_codes
+
+        counts = np.bincount(kmer_codes(out, 8))
+        base_counts = np.bincount(kmer_codes(base, 8))
+        assert base_counts.max() < 10
+        assert counts.max() > 30  # ~40-60 copies of each family seed
+
+    def test_length_preserved(self):
+        base = markov_dna(10_000, seed=1)
+        assert plant_repeats(base, seed=2).size == base.size
+
+    def test_deterministic(self):
+        base = markov_dna(5_000, seed=1)
+        assert np.array_equal(
+            plant_repeats(base, seed=7), plant_repeats(base, seed=7)
+        )
+
+    def test_family_longer_than_sequence_skipped(self):
+        base = markov_dna(50, seed=1)
+        out = plant_repeats(base, seed=2, family_length=(100, 200))
+        assert out.size == 50
+
+
+class TestPlantHomology:
+    def test_length(self):
+        ref = markov_dna(10_000, seed=1)
+        assert plant_homology(ref, 5_000, seed=2).size == 5_000
+
+    def test_creates_long_mems(self):
+        ref = markov_dna(20_000, seed=1)
+        qry = plant_homology(ref, 10_000, seed=2, coverage=0.8, divergence=0.01)
+        mems = repro.find_mems(ref, qry, min_length=40)
+        assert len(mems) > 10
+
+    def test_zero_coverage_no_long_mems(self):
+        ref = markov_dna(20_000, seed=1)
+        qry = plant_homology(ref, 10_000, seed=2, coverage=0.0)
+        mems = repro.find_mems(ref, qry, min_length=40)
+        assert len(mems) < 5  # chance matches only
+
+    def test_divergence_controls_mem_length(self):
+        ref = markov_dna(30_000, seed=1)
+        close = plant_homology(ref, 15_000, seed=2, coverage=0.7, divergence=0.005)
+        far = plant_homology(ref, 15_000, seed=2, coverage=0.7, divergence=0.05)
+        m_close = repro.find_mems(ref, close, min_length=30).lengths()
+        m_far = repro.find_mems(ref, far, min_length=30).lengths()
+        assert np.median(m_close) > np.median(m_far)
+
+    def test_zero_length(self):
+        ref = markov_dna(100, seed=1)
+        assert plant_homology(ref, 0, seed=1).size == 0
+
+    def test_bad_coverage(self):
+        with pytest.raises(InvalidSequenceError):
+            plant_homology(markov_dna(100, seed=1), 10, coverage=2.0)
+
+
+class TestSpecAndPair:
+    def test_spec_generate(self):
+        spec = SyntheticGenomeSpec(length=2_000, seed=11)
+        seq = spec.generate()
+        assert seq.size == 2_000
+        assert np.array_equal(seq, spec.generate())  # deterministic
+
+    def test_synthesize_pair(self):
+        spec = SyntheticGenomeSpec(length=5_000, seed=12)
+        ref, qry = synthesize_pair(spec, 3_000, seed=13, coverage=0.5)
+        assert ref.size == 5_000 and qry.size == 3_000

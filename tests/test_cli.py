@@ -1,0 +1,140 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.sequence.alphabet import decode
+from repro.sequence.fasta import write_fasta
+from repro.sequence.synthetic import markov_dna, plant_homology
+
+
+@pytest.fixture
+def fasta_pair(tmp_path):
+    ref = markov_dna(3000, seed=1)
+    qry = plant_homology(ref, 2000, seed=2, coverage=0.7, divergence=0.02)
+    rp = tmp_path / "ref.fa"
+    qp = tmp_path / "qry.fa"
+    write_fasta(rp, [("ref", ref)])
+    write_fasta(qp, [("qry", qry)])
+    return str(rp), str(qp), ref, qry
+
+
+class TestMatch:
+    def test_outputs_one_based_triplets(self, fasta_pair, capsys):
+        rp, qp, ref, qry = fasta_pair
+        rc = main(["match", rp, qp, "-l", "25", "-s", "8"])
+        assert rc == 0
+        lines = [l for l in capsys.readouterr().out.splitlines() if l.strip()]
+        assert lines
+        import repro
+
+        expect = {
+            (r + 1, q + 1, l)
+            for r, q, l in repro.find_mems(ref, qry, min_length=25, seed_length=8)
+        }
+        got = {tuple(int(x) for x in line.split()) for line in lines}
+        assert got == expect
+
+    def test_verbose_stats(self, fasta_pair, capsys):
+        rp, qp, *_ = fasta_pair
+        main(["match", rp, qp, "-l", "30", "-s", "8", "-v"])
+        err = capsys.readouterr().err
+        assert "total_time" in err and "# matches:" in err
+
+    def test_seed_clipped_to_L(self, fasta_pair, capsys):
+        rp, qp, *_ = fasta_pair
+        assert main(["match", rp, qp, "-l", "6", "-s", "10"]) == 0
+
+    def test_paf_output(self, fasta_pair, capsys):
+        rp, qp, ref, qry = fasta_pair
+        assert main(["match", rp, qp, "-l", "25", "-s", "8", "--paf"]) == 0
+        from repro.sequence.formats import read_paf
+
+        records = read_paf(capsys.readouterr().out)
+        assert records
+        assert all(r.query_len == qry.size for r in records)
+        assert all(r.n_match == r.target_end - r.target_start for r in records)
+
+
+class TestMatchVariants:
+    def test_unique_flag(self, fasta_pair, capsys):
+        rp, qp, ref, qry = fasta_pair
+        assert main(["match", rp, qp, "-l", "25", "-s", "8", "--unique"]) == 0
+        lines = [l for l in capsys.readouterr().out.splitlines() if l.strip()]
+        from repro.core.variants import find_mums
+
+        expect = {
+            (r + 1, q + 1, l)
+            for r, q, l in find_mums(ref, qry, 25, seed_length=8)
+        }
+        got = {tuple(int(x) for x in line.split()) for line in lines}
+        assert got == expect
+
+    def test_rare_flag(self, fasta_pair, capsys):
+        rp, qp, *_ = fasta_pair
+        assert main(["match", rp, qp, "-l", "25", "-s", "8", "--rare", "3"]) == 0
+
+    def test_both_strands_flag(self, fasta_pair, capsys):
+        rp, qp, *_ = fasta_pair
+        assert main(["match", rp, qp, "-l", "25", "-s", "8", "-b"]) == 0
+        out = capsys.readouterr().out
+        for line in out.splitlines():
+            if line.strip():
+                assert line.split("\t")[0] in "+-"
+
+
+class TestPerRecord:
+    def test_multi_record_query(self, tmp_path, capsys):
+        ref = markov_dna(2000, seed=4)
+        q1 = plant_homology(ref, 800, seed=5, coverage=0.8, divergence=0.01)
+        q2 = plant_homology(ref, 700, seed=6, coverage=0.8, divergence=0.01)
+        rp = tmp_path / "r.fa"
+        qp = tmp_path / "q.fa"
+        write_fasta(rp, [("ref", ref)])
+        write_fasta(qp, [("read1", q1), ("read2", q2)])
+        assert main(["match", str(rp), str(qp), "-l", "25", "-s", "8",
+                     "--per-record"]) == 0
+        out = capsys.readouterr().out
+        assert "> read1" in out and "> read2" in out
+        # per-record coordinates are record-local
+        import repro
+
+        expect1 = repro.find_mems(ref, q1, min_length=25, seed_length=8)
+        section1 = out.split("> read1")[1].split("> read2")[0]
+        lines = [l for l in section1.splitlines() if l.strip()]
+        assert len(lines) == len(expect1)
+
+
+class TestIndex:
+    def test_reports_build_time(self, fasta_pair, capsys):
+        rp, *_ = fasta_pair
+        assert main(["index", rp, "-l", "30", "-s", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "index build:" in out and "Δs=" in out
+
+
+class TestIndexSave:
+    def test_save_and_load(self, fasta_pair, tmp_path, capsys):
+        rp, *_ = fasta_pair
+        out = tmp_path / "idx.npz"
+        assert main(["index", rp, "-l", "30", "-s", "8", "--save", str(out)]) == 0
+        assert "saved full-reference index" in capsys.readouterr().out
+        from repro.index.serialize import load_kmer_index
+
+        idx = load_kmer_index(out)
+        assert idx.seed_length == 8
+        idx.check()
+
+
+class TestDataset:
+    def test_writes_fasta(self, tmp_path, capsys):
+        out = tmp_path / "x.fa"
+        assert main(["dataset", "chrXII", str(out)]) == 0
+        from repro.sequence.fasta import read_fasta
+
+        recs = read_fasta(out)
+        assert len(recs[0]) == 10_900
+
+    def test_unknown_dataset(self, tmp_path, capsys):
+        assert main(["dataset", "nope", str(tmp_path / "x.fa")]) == 2

@@ -1,0 +1,33 @@
+"""The shipped examples must at least compile; the fast ones must run."""
+
+import pathlib
+import py_compile
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).resolve().parents[1] / "examples").glob("*.py")
+)
+
+
+def test_examples_exist():
+    names = {p.name for p in EXAMPLES}
+    assert "quickstart.py" in names
+    assert len(names) >= 4
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_compiles(path):
+    py_compile.compile(str(path), doraise=True)
+
+
+def test_quickstart_runs():
+    path = next(p for p in EXAMPLES if p.name == "quickstart.py")
+    proc = subprocess.run(
+        [sys.executable, str(path)], capture_output=True, text=True, timeout=300
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "GPUMEM found" in proc.stdout
+    assert "identical MEM set" in proc.stdout

@@ -1,0 +1,165 @@
+"""Cross-cutting integration and property tests.
+
+The library's headline invariant: **every engine returns the identical MEM
+set** — GPUMEM vectorized (any tiling), GPUMEM simulated, and all four CPU
+baselines — and that set equals the brute-force definition of §II.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+import repro
+from repro.baselines import (
+    EssaMemFinder,
+    MummerFinder,
+    SlaMemFinder,
+    SparseMemFinder,
+)
+from repro.core.params import GpuMemParams
+from repro.core.reference import brute_force_mems
+from repro.core.simulated import simulated_find_mems
+from repro.gpu.device import TEST_DEVICE
+from repro.types import mems_equal, unique_mems
+
+from tests.conftest import dna_pair
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(dna_pair(max_size=90), st.integers(4, 7))
+def test_every_engine_agrees(pair, L):
+    R, Q = pair
+    expect = brute_force_mems(R, Q, L)
+
+    # GPUMEM vectorized, two tilings
+    for blocks, tau in ((1, 8), (2, 4)):
+        p = GpuMemParams(min_length=L, seed_length=3,
+                         threads_per_block=tau, blocks_per_tile=blocks)
+        got = repro.GpuMem(p).find_mems(R, Q)
+        assert mems_equal(got.array, expect), ("vectorized", blocks, tau)
+
+    # GPUMEM simulated
+    p = GpuMemParams(min_length=L, seed_length=3,
+                     threads_per_block=4, blocks_per_tile=2)
+    sim, _ = simulated_find_mems(R, Q, p, spec=TEST_DEVICE)
+    assert mems_equal(sim, expect)
+
+    # CPU baselines
+    for finder in (MummerFinder(), SparseMemFinder(sparseness=3),
+                   EssaMemFinder(sparseness=2, prefix_table_k=3),
+                   SlaMemFinder(occ_rate=8, sa_rate=4)):
+        finder.build_index(R)
+        got = finder.find_mems(Q, L)
+        assert mems_equal(got.mems.array, expect), finder.name
+
+
+class TestAdversarialInputs:
+    CASES = {
+        "all_same": (np.zeros(150, np.uint8), np.zeros(90, np.uint8)),
+        "alternating": (
+            np.tile([0, 1], 70).astype(np.uint8),
+            np.tile([1, 0], 60).astype(np.uint8),
+        ),
+        "period3_vs_period2": (
+            np.tile([0, 1, 2], 50).astype(np.uint8),
+            np.tile([0, 1], 60).astype(np.uint8),
+        ),
+        "identical": (
+            (np.arange(140) % 4).astype(np.uint8),
+            (np.arange(140) % 4).astype(np.uint8),
+        ),
+        "disjoint_alphabets": (
+            np.zeros(100, np.uint8),
+            np.full(100, 3, np.uint8),
+        ),
+        "single_base_query": ((np.arange(99) % 4).astype(np.uint8),
+                              np.array([2], np.uint8)),
+    }
+
+    @pytest.mark.parametrize("name", sorted(CASES))
+    def test_case(self, name):
+        R, Q = self.CASES[name]
+        L = 6 if Q.size >= 6 else 1
+        ls = min(3, L)
+        expect = brute_force_mems(R, Q, L)
+        p = GpuMemParams(min_length=L, seed_length=ls,
+                         threads_per_block=4, blocks_per_tile=2)
+        got = repro.GpuMem(p).find_mems(R, Q)
+        assert mems_equal(got.array, expect)
+        for finder in (MummerFinder(), SlaMemFinder(occ_rate=8, sa_rate=4)):
+            finder.build_index(R)
+            assert mems_equal(finder.find_mems(Q, L).mems.array, expect), (
+                name, finder.name,
+            )
+
+
+class TestMemDefinitionProperties:
+    """Hypothesis checks of the §II definition on GPUMEM's output alone."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(dna_pair(max_size=100))
+    def test_output_mems_are_real_and_maximal(self, pair):
+        R, Q = pair
+        L = 4
+        got = repro.find_mems(R, Q, min_length=L, seed_length=3)
+        for r, q, length in got:
+            assert length >= L
+            assert np.array_equal(R[r : r + length], Q[q : q + length])
+            assert r == 0 or q == 0 or R[r - 1] != Q[q - 1]
+            assert (
+                r + length == R.size
+                or q + length == Q.size
+                or R[r + length] != Q[q + length]
+            )
+
+    @settings(max_examples=20, deadline=None)
+    @given(dna_pair(max_size=100), st.integers(4, 8), st.integers(5, 9))
+    def test_min_length_monotone(self, pair, l1, l2):
+        """MEMs at a larger L are a subset of MEMs at a smaller L."""
+        R, Q = pair
+        lo, hi = min(l1, l2), max(l1, l2)
+        small = set(repro.find_mems(R, Q, min_length=lo, seed_length=3).as_tuples())
+        large = set(repro.find_mems(R, Q, min_length=hi, seed_length=3).as_tuples())
+        assert large <= small
+
+    @settings(max_examples=20, deadline=None)
+    @given(dna_pair(max_size=80))
+    def test_symmetry(self, pair):
+        """Swapping reference and query transposes the MEM set."""
+        R, Q = pair
+        fwd = set(repro.find_mems(R, Q, min_length=4, seed_length=3).as_tuples())
+        rev = set(repro.find_mems(Q, R, min_length=4, seed_length=3).as_tuples())
+        assert rev == {(q, r, l) for r, q, l in fwd}
+
+    @settings(max_examples=15, deadline=None)
+    @given(dna_pair(max_size=80), st.integers(0, 20))
+    def test_query_prefix_consistency(self, pair, cut):
+        """Fig. 4's premise: MEMs of a query prefix are exactly the full
+        query's MEMs that fit in the prefix, minus right-truncation effects
+        at the cut (a MEM crossing the cut may reappear shortened or vanish)."""
+        R, Q = pair
+        cut = min(cut, Q.size)
+        prefix_mems = set(
+            repro.find_mems(R, Q[:cut], min_length=4, seed_length=3).as_tuples()
+        )
+        full_mems = set(repro.find_mems(R, Q, min_length=4, seed_length=3).as_tuples())
+        fully_inside = {(r, q, l) for r, q, l in full_mems if q + l < cut}
+        assert fully_inside <= prefix_mems
+
+
+class TestScaledRealisticRun:
+    def test_homologous_pair_end_to_end(self, homologous_pair):
+        """A 20 kbp realistic pair: nontrivial MEM count, stats coherent."""
+        R, Q = homologous_pair
+        m = repro.GpuMem(min_length=25, seed_length=8, blocks_per_tile=4)
+        result = m.find_mems(R, Q)
+        assert len(result) > 50
+        stats = m.stats
+        assert stats["n_tiles"] >= 1
+        assert stats["n_candidates"] > len(result)
+        assert stats["total_time"] > 0
+        # cross-check one more engine at this scale
+        f = MummerFinder()
+        f.build_index(R)
+        assert mems_equal(f.find_mems(Q, 25).mems.array, result.array)

@@ -1,0 +1,107 @@
+"""Metamorphic properties of MEM extraction.
+
+These tests perturb inputs in ways with *predictable* effects on the MEM
+set and check the prediction — a complementary axis to the differential
+tests (which compare engines on identical inputs).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+import repro
+from repro.core.reference import brute_force_mems
+from repro.types import mems_equal
+
+from tests.conftest import dna_pair
+
+
+def find(R, Q, L=4):
+    return set(repro.find_mems(R, Q, min_length=L, seed_length=3).as_tuples())
+
+
+class TestTranslationInvariance:
+    @settings(max_examples=20, deadline=None)
+    @given(dna_pair(max_size=60), st.integers(1, 10))
+    def test_prepending_junk_to_query_shifts_q(self, pair, pad_len):
+        """Prepending a non-matching pad shifts q coordinates by its length
+        (MEMs fully inside the original query survive unchanged)."""
+        R, Q = pair
+        # a pad that cannot extend any match: alternate two symbols absent
+        # from a 2-symbol draw is impossible; instead verify via containment
+        pad = np.full(pad_len, 3, dtype=np.uint8)  # R,Q drawn from {0,1,2}
+        if R.max(initial=0) == 3 or Q.max(initial=0) == 3:
+            return
+        before = find(R, Q)
+        after = find(R, np.concatenate([pad, Q]))
+        shifted = {(r, q + pad_len, l) for r, q, l in before}
+        assert shifted <= after
+        # any extra matches must touch the pad boundary region
+        for r, q, l in after - shifted:
+            assert q < pad_len + 1
+
+    @settings(max_examples=20, deadline=None)
+    @given(dna_pair(max_size=60))
+    def test_concatenating_disjoint_alphabet_block(self, pair):
+        """Appending a block over a disjoint letter adds no cross matches
+        (beyond those touching the junction)."""
+        R, Q = pair
+        if R.max(initial=0) == 3 or Q.max(initial=0) == 3:
+            return
+        block = np.full(20, 3, dtype=np.uint8)
+        before = find(R, Q)
+        after = find(np.concatenate([R, block]), Q)
+        assert before <= after
+        for r, q, l in after - before:
+            # new matches can only arise where old ones were right-clipped
+            assert r + l > R.size or r >= R.size - 4
+
+
+class TestDuplication:
+    @settings(max_examples=15, deadline=None)
+    @given(dna_pair(max_size=40))
+    def test_duplicating_reference_doubles_interior_hits(self, pair):
+        """R+R: a MEM strictly interior to R (mismatch-delimited away from
+        both ends) reappears, unchanged, at the second copy too."""
+        R, Q = pair
+        single = find(R, Q)
+        doubled = find(np.concatenate([R, R]), Q)
+        interior = {(r, q, l) for r, q, l in single if 0 < r and r + l < R.size}
+        for r, q, l in interior:
+            assert (r, q, l) in doubled
+            assert (r + R.size, q, l) in doubled
+
+    def test_reversal_symmetry(self):
+        """MEMs of (rev R, rev Q) are the coordinate-mirrored MEMs."""
+        rng = np.random.default_rng(0)
+        R = rng.integers(0, 3, 150).astype(np.uint8)
+        Q = rng.integers(0, 3, 120).astype(np.uint8)
+        fwd = find(R, Q, L=5)
+        rev = find(R[::-1].copy(), Q[::-1].copy(), L=5)
+        mirrored = {
+            (R.size - r - l, Q.size - q - l, l) for r, q, l in fwd
+        }
+        assert rev == mirrored
+
+
+class TestSubstitutionEffects:
+    def test_single_substitution_splits_long_mem(self):
+        R = (np.arange(101) % 4).astype(np.uint8)
+        Q = R.copy()
+        Q[50] = (Q[50] + 1) % 4
+        mems = find(R, Q, L=10)
+        # the full-length MEM must be replaced by the two flanks
+        assert (0, 0, 101) not in mems
+        assert (0, 0, 50) in mems
+        assert (51, 51, 50) in mems
+
+    def test_mutating_outside_mems_preserves_them(self):
+        rng = np.random.default_rng(1)
+        R = rng.integers(0, 4, 300).astype(np.uint8)
+        Q = R[100:200].copy()
+        base = find(R, Q, L=50)
+        assert (100, 0, 100) in base
+        R2 = R.copy()
+        R2[:50] = rng.integers(0, 4, 50)  # far from the MEM
+        after = find(R2, Q, L=50)
+        assert (100, 0, 100) in after

@@ -1,0 +1,78 @@
+"""Public-API hygiene: exports resolve, everything public is documented."""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+PACKAGES = [
+    "repro",
+    "repro.sequence",
+    "repro.index",
+    "repro.gpu",
+    "repro.core",
+    "repro.baselines",
+    "repro.align",
+    "repro.bench",
+]
+
+
+@pytest.mark.parametrize("name", PACKAGES)
+def test_all_exports_resolve(name):
+    mod = importlib.import_module(name)
+    for symbol in getattr(mod, "__all__", []):
+        assert getattr(mod, symbol, None) is not None, f"{name}.{symbol}"
+
+
+def _walk_modules():
+    for pkg_name in PACKAGES:
+        pkg = importlib.import_module(pkg_name)
+        yield pkg
+        if hasattr(pkg, "__path__"):
+            for info in pkgutil.iter_modules(pkg.__path__):
+                yield importlib.import_module(f"{pkg_name}.{info.name}")
+
+
+def test_every_module_has_a_docstring():
+    for mod in _walk_modules():
+        assert mod.__doc__ and mod.__doc__.strip(), mod.__name__
+
+
+def test_public_callables_are_documented():
+    undocumented = []
+    for mod in _walk_modules():
+        for symbol in getattr(mod, "__all__", []):
+            obj = getattr(mod, symbol)
+            if inspect.isfunction(obj) or inspect.isclass(obj):
+                if not (obj.__doc__ and obj.__doc__.strip()):
+                    undocumented.append(f"{mod.__name__}.{symbol}")
+    assert not undocumented, undocumented
+
+
+def test_public_classes_have_documented_public_methods():
+    skip = {"__init__"}
+    undocumented = []
+    for symbol in repro.__all__:
+        obj = getattr(repro, symbol)
+        if not inspect.isclass(obj):
+            continue
+        for name, member in inspect.getmembers(obj):
+            if name.startswith("_") or name in skip:
+                continue
+            if inspect.isfunction(member) and member.__qualname__.startswith(
+                obj.__name__ + "."
+            ):
+                if not (member.__doc__ and member.__doc__.strip()):
+                    undocumented.append(f"{symbol}.{name}")
+    assert not undocumented, undocumented
+
+
+def test_version_matches_package_metadata():
+    from repro._version import __version__
+
+    assert repro.__version__ == __version__
+    parts = __version__.split(".")
+    assert len(parts) == 3 and all(p.isdigit() for p in parts)
