@@ -31,6 +31,7 @@ import bench_ablation_tiling
 import bench_ablation_multidevice
 import bench_sa_builders
 import bench_ablation_devices
+import bench_session_reuse
 
 TARGETS = [
     ("table2_datasets", lambda div: bench_table2_datasets.generate_table()),
@@ -45,6 +46,7 @@ TARGETS = [
     ("ablation_multidevice", bench_ablation_multidevice.generate_series),
     ("sa_builders", bench_sa_builders.generate_series),
     ("ablation_devices", bench_ablation_devices.generate_series),
+    ("session_reuse", bench_session_reuse.generate_series),
 ]
 
 

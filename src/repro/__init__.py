@@ -51,12 +51,16 @@ from repro.sequence import (
 from repro.core import (
     GpuMem,
     GpuMemParams,
+    MemSession,
+    Pipeline,
+    PipelineStats,
     StrandedMems,
     brute_force_mems,
     find_mems,
     find_mems_both_strands,
     find_mums,
     find_rare_mems,
+    get_session,
 )
 
 __all__ = [
@@ -76,6 +80,10 @@ __all__ = [
     "reverse_complement",
     "GpuMem",
     "GpuMemParams",
+    "MemSession",
+    "Pipeline",
+    "PipelineStats",
+    "get_session",
     "find_mems",
     "brute_force_mems",
     "find_mums",

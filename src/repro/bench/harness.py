@@ -21,6 +21,7 @@ from repro.baselines import (
 )
 from repro.core.matcher import GpuMem
 from repro.core.params import GpuMemParams
+from repro.core.session import MemSession
 from repro.errors import GpuMemError
 from repro.sequence.datasets import ExperimentConfig, load_experiment
 from repro.types import mems_equal
@@ -101,8 +102,8 @@ def run_extraction_experiment(
     times["slaMEM"] = res.seconds
     mem_sets["slaMEM"] = res.mems.array
 
-    g = GpuMem(gpumem_params(config))
-    result = g.find_mems(reference, query)
+    g = MemSession(reference, gpumem_params(config))
+    result = g.find_mems(query)
     times["GPUMEM"] = g.stats["total_time"] - g.stats["index_time"]
     mem_sets["GPUMEM"] = result.array
 
@@ -120,6 +121,46 @@ def run_extraction_experiment(
         "query_len": int(query.size),
     }
     return times, info
+
+
+def run_session_reuse_experiment(
+    reference, queries, params: GpuMemParams
+) -> dict:
+    """Seed behaviour vs. reusable session over an N-query workload.
+
+    "Seed" is one throwaway matcher per query (per-row indexes rebuilt every
+    call); "session" is one :class:`MemSession` serving the whole workload.
+    Outputs are asserted identical before timings are reported.
+    """
+    t0 = time.perf_counter()
+    per_call_results = [
+        GpuMem(params).find_mems(reference, q) for q in queries
+    ]
+    per_call_seconds = time.perf_counter() - t0
+
+    session = MemSession(reference, params)
+    t0 = time.perf_counter()
+    session_results = session.find_mems_batch(queries)
+    session_seconds = time.perf_counter() - t0
+
+    for a, b in zip(per_call_results, session_results):
+        if not mems_equal(a.array, b.array):
+            raise GpuMemError(
+                "session-reuse changed the MEM set — outputs must be identical"
+            )
+    n = max(1, len(queries))
+    return {
+        "n_queries": len(queries),
+        "n_mems": int(sum(len(r) for r in session_results)),
+        "per_call_seconds": per_call_seconds,
+        "session_seconds": session_seconds,
+        "per_call_qps": n / per_call_seconds if per_call_seconds > 0 else float("inf"),
+        "session_qps": n / session_seconds if session_seconds > 0 else float("inf"),
+        "speedup": per_call_seconds / session_seconds
+        if session_seconds > 0
+        else float("inf"),
+        "cache_info": session.cache_info(),
+    }
 
 
 def environment_info() -> dict:

@@ -39,6 +39,12 @@ def _add_match_args(p: argparse.ArgumentParser) -> None:
                    help="indexing step Δs (default: the Eq. 1 maximum)")
     p.add_argument("--invalid", choices=("error", "skip", "random"),
                    default="random", help="non-ACGT letter policy")
+    p.add_argument("--executor", choices=("serial", "threads", "banded"),
+                   default="serial",
+                   help="row executor of the staged pipeline (default serial)")
+    p.add_argument("--workers", type=int, default=None, metavar="N",
+                   help="thread count (--executor threads) or band count "
+                        "(--executor banded); default per executor")
 
 
 def cmd_match(args) -> int:
@@ -51,24 +57,30 @@ def cmd_match(args) -> int:
     reference = _read_single_fasta(args.reference, args.invalid)
     seed_length = min(args.seed_length, args.min_length)
     common = dict(
-        seed_length=seed_length, step=args.step, backend=args.backend
+        seed_length=seed_length, step=args.step, backend=args.backend,
+        executor=args.executor, workers=args.workers,
     )
 
     if args.per_record:
         records = read_fasta(args.query, invalid=args.invalid)
-        from repro.core.matcher import GpuMem as _GpuMem
         from repro.core.params import GpuMemParams as _Params
+        from repro.core.session import MemSession
 
-        matcher = _GpuMem(_Params(min_length=args.min_length, **common))
+        # One session for all records: the reference's row indexes are
+        # built on the first record and reused for every later one.
+        session = MemSession(reference, _Params(min_length=args.min_length, **common))
         total = 0
         for rec in records:
             print(f"> {rec.header}")
-            result = matcher.find_mems(reference, rec.codes)
+            result = session.find_mems(rec.codes)
             for r, q, length in result:
                 print(f"{r + 1}\t{q + 1}\t{length}")
             total += len(result)
         if args.verbose:
-            print(f"# records: {len(records)}  matches: {total}", file=sys.stderr)
+            info = session.cache_info()
+            print(f"# records: {len(records)}  matches: {total}  "
+                  f"index rows cached: {info['n_cached']}  "
+                  f"cache hits: {info['hits']}", file=sys.stderr)
         return 0
 
     query = _read_single_fasta(args.query, args.invalid)
@@ -135,6 +147,8 @@ def cmd_index(args) -> int:
         min_length=args.min_length,
         seed_length=min(args.seed_length, args.min_length),
         step=args.step,
+        executor=args.executor,
+        workers=args.workers,
     )
     seconds = GpuMem(params).index_only(reference)
     print(f"index build: {seconds:.4f}s  ({params.describe()})")

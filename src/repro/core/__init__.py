@@ -7,12 +7,31 @@ Public surface:
 - :class:`~repro.core.matcher.GpuMem` — the end-to-end matcher over either
   backend (``"vectorized"`` production path or ``"simulated"`` SIMT path).
 - :func:`~repro.core.matcher.find_mems` — one-call convenience API.
+- :class:`~repro.core.session.MemSession` — reusable index session for
+  many-query workloads (build the reference's row indexes once).
+- :class:`~repro.core.pipeline.Pipeline` /
+  :class:`~repro.core.pipeline.PipelineStats` — the staged extraction
+  engine and its typed statistics.
+- Executors (:mod:`repro.core.executors`) — serial / thread-pool / banded
+  strategies over independent tile rows.
 - :func:`~repro.core.reference.brute_force_mems` — independent ground truth.
 """
 
 from repro.core.params import GpuMemParams
 from repro.core.reference import brute_force_mems
 from repro.core.matcher import GpuMem, find_mems
+from repro.core.pipeline import Pipeline, PipelineStats
+from repro.core.session import (
+    MemSession,
+    clear_session_cache,
+    get_session,
+)
+from repro.core.executors import (
+    BandedExecutor,
+    SerialExecutor,
+    ThreadPoolRowExecutor,
+    make_executor,
+)
 from repro.core.variants import (
     StrandedMems,
     find_mems_both_strands,
@@ -30,6 +49,15 @@ __all__ = [
     "GpuMem",
     "find_mems",
     "brute_force_mems",
+    "Pipeline",
+    "PipelineStats",
+    "MemSession",
+    "get_session",
+    "clear_session_cache",
+    "SerialExecutor",
+    "ThreadPoolRowExecutor",
+    "BandedExecutor",
+    "make_executor",
     "find_mums",
     "find_rare_mems",
     "find_mems_both_strands",

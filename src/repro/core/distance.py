@@ -5,23 +5,28 @@ maximal exact matches: the smaller the fraction of one sequence covered by
 sufficiently long MEMs against the other, the more distant the pair. This
 module provides that coverage computation and the derived distance,
 including the symmetric variant and a pairwise distance matrix helper.
+
+All entry points run on :class:`repro.core.session.MemSession`, so the
+per-row seed indexes of each sequence are built once: the symmetric
+distance reuses one cached session per direction, and
+:func:`distance_matrix` performs O(n) index builds for its O(n²) pairs
+instead of the seed behaviour's two throwaway index builds per pair.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.core.matcher import GpuMem, _as_codes
+from repro.core.pipeline import as_codes
+from repro.core.session import MemSession, get_session
 from repro.errors import InvalidParameterError
 
 
-def mem_coverage(reference, query, *, min_length: int = 30, **kwargs) -> float:
-    """Fraction of ``query`` positions covered by MEMs of ≥ ``min_length``."""
-    reference = _as_codes(reference)
-    query = _as_codes(query)
+def _coverage_of(session: MemSession, query: np.ndarray) -> float:
+    """Fraction of ``query`` positions covered by the session's MEMs."""
     if query.size == 0:
         return 0.0
-    mems = GpuMem(min_length=min_length, **kwargs).find_mems(reference, query)
+    mems = session.find_mems(query)
     diff = np.zeros(query.size + 1, dtype=np.int64)
     arr = mems.array
     np.add.at(diff, arr["q"], 1)
@@ -30,25 +35,56 @@ def mem_coverage(reference, query, *, min_length: int = 30, **kwargs) -> float:
     return float((depth > 0).mean())
 
 
+def mem_coverage(reference, query, *, min_length: int = 30,
+                 session: MemSession | None = None, **kwargs) -> float:
+    """Fraction of ``query`` positions covered by MEMs of ≥ ``min_length``.
+
+    Pass ``session`` (already bound to ``reference``) to reuse its cached
+    indexes; ``min_length`` and the remaining kwargs are then taken from the
+    session's params and must not conflict with it.
+    """
+    if session is None:
+        session = MemSession(reference, min_length=min_length, **kwargs)
+    return _coverage_of(session, as_codes(query))
+
+
 def mem_distance(reference, query, *, min_length: int = 30,
                  symmetric: bool = True, **kwargs) -> float:
-    """``1 − coverage`` distance; symmetric variant averages both directions."""
-    d_q = 1.0 - mem_coverage(reference, query, min_length=min_length, **kwargs)
+    """``1 − coverage`` distance; symmetric variant averages both directions.
+
+    Both directions run through :func:`repro.core.session.get_session`, so
+    repeated distances against the same sequences (and the reverse
+    direction of this very call) hit warm index caches instead of
+    constructing throwaway matchers.
+    """
+    ref_session = get_session(reference, min_length=min_length, **kwargs)
+    d_q = 1.0 - _coverage_of(ref_session, as_codes(query))
     if not symmetric:
         return d_q
-    d_r = 1.0 - mem_coverage(query, reference, min_length=min_length, **kwargs)
+    qry_session = get_session(query, min_length=min_length, **kwargs)
+    d_r = 1.0 - _coverage_of(qry_session, as_codes(reference))
     return (d_q + d_r) / 2.0
 
 
 def distance_matrix(sequences, *, min_length: int = 30, **kwargs) -> np.ndarray:
-    """Symmetric pairwise MEM-distance matrix over a list of sequences."""
-    seqs = [_as_codes(s) for s in sequences]
+    """Symmetric pairwise MEM-distance matrix over a list of sequences.
+
+    One session per sequence — O(n) index builds for the O(n²) pairs.
+    """
+    symmetric = bool(kwargs.pop("symmetric", True))
+    seqs = [as_codes(s) for s in sequences]
     n = len(seqs)
     if n == 0:
         raise InvalidParameterError("distance_matrix needs at least one sequence")
+    sessions = [
+        MemSession(seq, min_length=min_length, **kwargs) for seq in seqs
+    ]
     out = np.zeros((n, n), dtype=np.float64)
     for i in range(n):
         for j in range(i + 1, n):
-            d = mem_distance(seqs[i], seqs[j], min_length=min_length, **kwargs)
+            d = 1.0 - _coverage_of(sessions[i], seqs[j])
+            if symmetric:
+                d_r = 1.0 - _coverage_of(sessions[j], seqs[i])
+                d = (d + d_r) / 2.0
             out[i, j] = out[j, i] = d
     return out

@@ -1,0 +1,168 @@
+"""Pluggable executors over independent pipeline rows.
+
+A tile *row* is the pipeline's unit of independent work: given the
+(read-only) sequences, each row builds/fetches its own partial seed index
+and matches its own tiles, and rows only meet again at the host merge
+(paper §III, Figure 1). Executors decide *how* the independent rows run:
+
+- :class:`SerialExecutor` — one row at a time, in order (the seed
+  behaviour; also the baseline every other executor is tested against);
+- :class:`ThreadPoolRowExecutor` — rows on a ``ThreadPoolExecutor``. The
+  hot kernels are whole-array NumPy calls that release the GIL, so rows
+  genuinely overlap;
+- :class:`BandedExecutor` — contiguous row bands processed one band at a
+  time with per-band timing, modelling ``D`` devices each owning a band
+  (cf. SALoBa's workload-balance-aware scheduling of independent GPU work
+  units). :mod:`repro.core.multi_device` is a thin wrapper over this.
+
+Executors are deliberately ignorant of what a "row" computes — they map a
+callable over row ids and hand back results in row order, so the same
+executors serve extraction, index-only builds, and any future stage.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+
+#: Names accepted by :func:`make_executor` (and ``GpuMemParams.executor``).
+EXECUTOR_NAMES = ("serial", "threads", "banded")
+
+
+def partition_rows(n_rows: int, n_devices: int) -> list[list[int]]:
+    """Contiguous near-equal bands of tile rows, one per device."""
+    if n_devices < 1:
+        raise InvalidParameterError(f"n_devices must be >= 1, got {n_devices}")
+    bounds = np.linspace(0, n_rows, n_devices + 1).astype(int)
+    return [list(range(bounds[d], bounds[d + 1])) for d in range(n_devices)]
+
+
+@dataclass
+class DeviceShare:
+    """One device's (band's) slice of the work and its measured cost."""
+
+    device_id: int
+    rows: list[int]
+    seconds: float = 0.0
+    n_in_tile: int = 0
+    n_out_tile: int = 0
+
+
+class RowExecutor:
+    """Interface: map a row function over row ids, results in row order."""
+
+    #: Registry name; also recorded into ``PipelineStats.executor``.
+    name = "abstract"
+
+    def map_rows(self, fn: Callable[[int], object], rows: Sequence[int]) -> list:
+        raise NotImplementedError
+
+    def annotate(self, stats) -> None:
+        """Merge executor-specific details into a stats mapping (optional)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"{type(self).__name__}()"
+
+
+class SerialExecutor(RowExecutor):
+    """Rows one after another — the reference behaviour."""
+
+    name = "serial"
+
+    def map_rows(self, fn, rows):
+        return [fn(row) for row in rows]
+
+
+class ThreadPoolRowExecutor(RowExecutor):
+    """Rows on a thread pool (NumPy kernels release the GIL)."""
+
+    name = "threads"
+
+    def __init__(self, workers: int | None = None):
+        if workers is not None and workers < 1:
+            raise InvalidParameterError(f"workers must be >= 1, got {workers}")
+        self.workers = int(workers) if workers else min(8, os.cpu_count() or 1)
+
+    def map_rows(self, fn, rows):
+        rows = list(rows)
+        if self.workers == 1 or len(rows) <= 1:
+            return [fn(row) for row in rows]
+        from concurrent.futures import ThreadPoolExecutor
+
+        with ThreadPoolExecutor(max_workers=min(self.workers, len(rows))) as pool:
+            return list(pool.map(fn, rows))
+
+    def annotate(self, stats) -> None:
+        stats["workers"] = self.workers
+
+    def __repr__(self) -> str:
+        return f"ThreadPoolRowExecutor(workers={self.workers})"
+
+
+class BandedExecutor(RowExecutor):
+    """Contiguous row bands with per-band timing (multi-device model).
+
+    Bands run sequentially and each band's wall time is recorded in a
+    :class:`DeviceShare`, so callers can report the deterministic
+    ideal-parallel time ``max(band seconds) + merge`` (DESIGN.md §2)
+    without any actual device concurrency.
+    """
+
+    name = "banded"
+
+    def __init__(self, n_bands: int = 2):
+        if n_bands < 1:
+            raise InvalidParameterError(f"n_bands must be >= 1, got {n_bands}")
+        self.n_bands = int(n_bands)
+        #: Populated by :meth:`map_rows`: per-band rows, seconds, counters.
+        self.shares: list[DeviceShare] = []
+
+    def map_rows(self, fn, rows):
+        rows = list(rows)
+        bands = partition_rows(len(rows), self.n_bands)
+        self.shares = []
+        out = []
+        for band_id, band in enumerate(bands):
+            share = DeviceShare(device_id=band_id, rows=[rows[i] for i in band])
+            t0 = time.perf_counter()
+            for i in band:
+                result = fn(rows[i])
+                out.append(result)
+                share.n_in_tile += int(getattr(result, "n_in_tile", 0))
+                share.n_out_tile += int(getattr(result, "n_out_tile", 0))
+            share.seconds = time.perf_counter() - t0
+            self.shares.append(share)
+        return out
+
+    def annotate(self, stats) -> None:
+        seconds = [s.seconds for s in self.shares]
+        stats["n_devices"] = self.n_bands
+        stats["rows_per_device"] = [len(s.rows) for s in self.shares]
+        stats["device_seconds"] = seconds
+        stats["max_device_seconds"] = max(seconds, default=0.0)
+
+    def __repr__(self) -> str:
+        return f"BandedExecutor(n_bands={self.n_bands})"
+
+
+def make_executor(name: str, workers: int | None = None) -> RowExecutor:
+    """Build an executor from its registry name.
+
+    ``workers`` means pool width for ``"threads"`` and band count for
+    ``"banded"``; it is ignored by ``"serial"``.
+    """
+    if name == "serial":
+        return SerialExecutor()
+    if name == "threads":
+        return ThreadPoolRowExecutor(workers=workers)
+    if name == "banded":
+        return BandedExecutor(n_bands=workers or 2)
+    raise InvalidParameterError(
+        f"unknown executor {name!r}; choose from {EXECUTOR_NAMES}"
+    )

@@ -13,7 +13,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.matcher import GpuMem, _as_codes
+from repro.core.pipeline import as_codes
+from repro.core.session import MemSession
 from repro.errors import InvalidParameterError
 
 
@@ -57,13 +58,15 @@ class ReadMapper:
                  **matcher_kwargs):
         if tolerance < 1:
             raise InvalidParameterError(f"tolerance must be >= 1, got {tolerance}")
-        self.reference = _as_codes(reference)
         self.tolerance = int(tolerance)
-        self.matcher = GpuMem(min_length=min_seed, **matcher_kwargs)
+        # "Build once per reference" is literal now: the session caches the
+        # per-row seed indexes, so every read after the first is match-only.
+        self.session = MemSession(reference, min_length=min_seed, **matcher_kwargs)
+        self.reference = self.session.reference
 
     def map_read(self, read) -> ReadMapping:
-        read = _as_codes(read)
-        mems = self.matcher.find_mems(self.reference, read)
+        read = as_codes(read)
+        mems = self.session.find_mems(read)
         if len(mems) == 0:
             return ReadMapping(locus=None, support=0, second_support=0, n_seeds=0)
         arr = mems.array

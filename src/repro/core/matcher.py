@@ -1,11 +1,10 @@
 """The GPUMEM driver: end-to-end MEM extraction.
 
-:class:`GpuMem` glues the pipeline together exactly as Figure 1 of the
-paper: tile rows are processed bottom-up; each row builds a partial seed
-index of its reference range; all tiles of the row are matched against that
-index; in-tile MEMs are reported immediately and boundary-touching
-fragments accumulate into a global out-tile list merged on the host at the
-end.
+:class:`GpuMem` is the one-shot entry point over the staged pipeline of
+:mod:`repro.core.pipeline` (Figure 1 of the paper: per-row seed index →
+per-tile match → host merge). Each call binds a transient
+:class:`repro.core.session.MemSession`; many-query workloads should hold a
+session directly so the per-row indexes are built once and reused.
 
 Two backends:
 
@@ -18,24 +17,13 @@ Two backends:
 
 from __future__ import annotations
 
-import time
-
-import numpy as np
-
-from repro.core.host_merge import host_merge
 from repro.core.params import GpuMemParams
-from repro.core.tiling import TilePlan
-from repro.core.vectorized import stage_tile
-from repro.index.kmer_index import build_kmer_index
-from repro.sequence.alphabet import encode
-from repro.sequence.packed import PackedSequence, kmer_codes
-from repro.types import MatchSet, concat_triplets
+from repro.core.pipeline import PipelineStats, as_codes
+from repro.core.session import MemSession
+from repro.types import MatchSet
 
-
-def _as_codes(seq) -> np.ndarray:
-    if isinstance(seq, PackedSequence):
-        return seq.codes()
-    return encode(seq)
+#: Backwards-compatible alias — historical internal name, imported widely.
+_as_codes = as_codes
 
 
 class GpuMem:
@@ -47,6 +35,7 @@ class GpuMem:
         GpuMem(min_length=50)                     # paper defaults
         GpuMem(GpuMemParams(min_length=50, seed_length=10))
         GpuMem(min_length=50, backend="simulated", load_balancing=False)
+        GpuMem(min_length=50, executor="threads", workers=4)
     """
 
     def __init__(self, params: GpuMemParams | None = None, /, **kwargs):
@@ -55,97 +44,26 @@ class GpuMem:
         elif kwargs:
             params = params.with_(**kwargs)
         self.params = params
-        #: Populated by :meth:`find_mems`: per-phase timings and counters.
-        self.stats: dict = {}
+        #: Stats of the most recent :meth:`find_mems` call. Always a
+        #: well-shaped :class:`PipelineStats` (zeroed before the first call).
+        self.stats: PipelineStats = PipelineStats(
+            backend=params.backend,
+            executor=params.executor,
+            params=params.describe(),
+        )
 
     # -- public API -----------------------------------------------------------
     def find_mems(self, reference, query) -> MatchSet:
-        """All maximal exact matches of length ≥ ``params.min_length``."""
-        reference = _as_codes(reference)
-        query = _as_codes(query)
-        if self.params.backend == "simulated":
-            from repro.core.simulated import simulated_find_mems
+        """All maximal exact matches of length ≥ ``params.min_length``.
 
-            mems, stats = simulated_find_mems(reference, query, self.params)
-            self.stats = stats
-            return MatchSet(mems, stats=stats)
-        return self._find_mems_vectorized(reference, query)
-
-    # -- vectorized backend -----------------------------------------------------
-    def _find_mems_vectorized(self, reference: np.ndarray, query: np.ndarray) -> MatchSet:
-        p = self.params
-        plan = TilePlan(
-            n_reference=reference.size,
-            n_query=query.size,
-            tile_size=p.tile_size,
-        )
-        t0 = time.perf_counter()
-        query_kmers = (
-            kmer_codes(query, p.seed_length)
-            if query.size >= p.seed_length
-            else np.empty(0, dtype=np.int64)
-        )
-        prep_time = time.perf_counter() - t0
-
-        index_time = 0.0
-        match_time = 0.0
-        in_tile_parts: list[np.ndarray] = []
-        out_tile_parts: list[np.ndarray] = []
-        n_candidates = 0
-        max_index_bytes = 0
-        max_index_locs = 0
-
-        for row in range(plan.n_rows):
-            r0, r1 = plan.row_range(row)
-            t0 = time.perf_counter()
-            index = build_kmer_index(
-                reference,
-                seed_length=p.seed_length,
-                step=p.step,
-                region_start=r0,
-                region_end=r1,
-            )
-            index_time += time.perf_counter() - t0
-            max_index_bytes = max(max_index_bytes, index.nbytes_packed)
-            max_index_locs = max(max_index_locs, index.n_locs)
-
-            t0 = time.perf_counter()
-            for tile in plan.tiles_in_row(row):
-                result = stage_tile(
-                    reference, query, query_kmers, tile, index, p.min_length
-                )
-                n_candidates += result.n_candidates
-                if result.in_tile.size:
-                    in_tile_parts.append(result.in_tile)
-                if result.out_tile.size:
-                    out_tile_parts.append(result.out_tile)
-            match_time += time.perf_counter() - t0
-
-        t0 = time.perf_counter()
-        out_tile = concat_triplets(out_tile_parts)
-        crossing = host_merge(reference, query, out_tile, p.min_length)
-        mems = concat_triplets(in_tile_parts + [crossing])
-        host_time = time.perf_counter() - t0
-
-        self.stats = {
-            "backend": "vectorized",
-            "n_rows": plan.n_rows,
-            "n_cols": plan.n_cols,
-            "n_tiles": plan.n_tiles,
-            "n_candidates": n_candidates,
-            "n_in_tile": int(sum(part.size for part in in_tile_parts)),
-            "n_out_tile_fragments": int(out_tile.size),
-            "n_crossing_mems": int(crossing.size),
-            "prep_time": prep_time,
-            "index_time": index_time,
-            "match_time": match_time,
-            "host_merge_time": host_time,
-            "total_time": prep_time + index_time + match_time + host_time,
-            "max_index_bytes": max_index_bytes,
-            "max_index_locs": max_index_locs,
-            "params": p.describe(),
-        }
-        return MatchSet(mems, stats=self.stats)
+        One-shot convenience: a fresh session is bound per call. For
+        repeated queries against one reference, hold a
+        :class:`~repro.core.session.MemSession` instead.
+        """
+        session = MemSession(reference, self.params)
+        result = session.find_mems(query)
+        self.stats = session.stats
+        return result
 
     # -- convenience ------------------------------------------------------------
     def index_only(self, reference) -> float:
@@ -154,22 +72,7 @@ class GpuMem:
         This is the quantity the paper's Table III reports for GPUMEM: index
         construction alone, without matching.
         """
-        reference = _as_codes(reference)
-        p = self.params
-        plan = TilePlan(
-            n_reference=reference.size, n_query=p.tile_size, tile_size=p.tile_size
-        )
-        t0 = time.perf_counter()
-        for row in range(plan.n_rows):
-            r0, r1 = plan.row_range(row)
-            build_kmer_index(
-                reference,
-                seed_length=p.seed_length,
-                step=p.step,
-                region_start=r0,
-                region_end=r1,
-            )
-        return time.perf_counter() - t0
+        return MemSession(reference, self.params).warm()
 
 
 def find_mems(reference, query, min_length: int, **kwargs) -> MatchSet:

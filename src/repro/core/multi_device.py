@@ -6,6 +6,11 @@ natural: tile *rows* are independent given the (read-only) sequences, so
 ``D`` devices each take a contiguous band of rows; only the out-tile lists
 must be merged globally — exactly the host merge that already exists.
 
+This module is now a thin wrapper: the band loop lives in
+:class:`repro.core.executors.BandedExecutor` and the row/index/tile work in
+the shared :class:`repro.core.pipeline.Pipeline`, so the multi-device path
+can never drift from the single-device one.
+
 Correctness needs no new argument: each device runs the standard pipeline
 on its rows; MEMs crossing a band boundary surface as boundary-touching
 fragments on both devices and are re-extended by the shared host merge
@@ -18,39 +23,12 @@ extraction time is the slowest device plus the merge.
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass
-
-import numpy as np
-
-from repro.core.host_merge import host_merge
-from repro.core.matcher import _as_codes
+from repro.core.executors import BandedExecutor, DeviceShare, partition_rows
 from repro.core.params import GpuMemParams
-from repro.core.tiling import TilePlan
-from repro.core.vectorized import stage_tile
-from repro.errors import InvalidParameterError
-from repro.index.kmer_index import build_kmer_index
-from repro.sequence.packed import kmer_codes
-from repro.types import MatchSet, concat_triplets
+from repro.core.pipeline import Pipeline, as_codes
+from repro.types import MatchSet
 
-
-@dataclass
-class DeviceShare:
-    """One device's slice of the work and its measured cost."""
-
-    device_id: int
-    rows: list[int]
-    seconds: float = 0.0
-    n_in_tile: int = 0
-    n_out_tile: int = 0
-
-
-def partition_rows(n_rows: int, n_devices: int) -> list[list[int]]:
-    """Contiguous near-equal bands of tile rows, one per device."""
-    if n_devices < 1:
-        raise InvalidParameterError(f"n_devices must be >= 1, got {n_devices}")
-    bounds = np.linspace(0, n_rows, n_devices + 1).astype(int)
-    return [list(range(bounds[d], bounds[d + 1])) for d in range(n_devices)]
+__all__ = ["DeviceShare", "partition_rows", "find_mems_multi_device"]
 
 
 def find_mems_multi_device(
@@ -65,60 +43,24 @@ def find_mems_multi_device(
     Returns ``(mems, stats)`` where stats include per-device seconds and
     the modeled parallel time (``max`` over devices + host merge).
     """
-    reference = _as_codes(reference)
-    query = _as_codes(query)
-    p = params
-    plan = TilePlan(
-        n_reference=reference.size, n_query=query.size, tile_size=p.tile_size
-    )
-    shares = [
-        DeviceShare(device_id=d, rows=rows)
-        for d, rows in enumerate(partition_rows(plan.n_rows, n_devices))
-    ]
-    query_kmers = (
-        kmer_codes(query, p.seed_length)
-        if query.size >= p.seed_length
-        else np.empty(0, dtype=np.int64)
-    )
+    reference = as_codes(reference)
+    query = as_codes(query)
+    executor = BandedExecutor(n_bands=n_devices)
+    pipeline = Pipeline(params, executor=executor)
+    triplets, pstats = pipeline.run(reference, query)
 
-    in_parts: list[np.ndarray] = []
-    out_parts: list[np.ndarray] = []
-    for share in shares:
-        t0 = time.perf_counter()
-        for row in share.rows:
-            r0, r1 = plan.row_range(row)
-            index = build_kmer_index(
-                reference, seed_length=p.seed_length, step=p.step,
-                region_start=r0, region_end=r1,
-            )
-            for tile in plan.tiles_in_row(row):
-                result = stage_tile(
-                    reference, query, query_kmers, tile, index, p.min_length
-                )
-                if result.in_tile.size:
-                    in_parts.append(result.in_tile)
-                    share.n_in_tile += int(result.in_tile.size)
-                if result.out_tile.size:
-                    out_parts.append(result.out_tile)
-                    share.n_out_tile += int(result.out_tile.size)
-        share.seconds = time.perf_counter() - t0
-
-    t0 = time.perf_counter()
-    out_tile = concat_triplets(out_parts)
-    crossing = host_merge(reference, query, out_tile, p.min_length)
-    merge_seconds = time.perf_counter() - t0
-
-    mems = MatchSet(concat_triplets(in_parts + [crossing]))
-    device_seconds = [s.seconds for s in shares]
+    device_seconds = [share.seconds for share in executor.shares]
+    merge_seconds = pstats.host_merge_time
     stats = {
         "n_devices": n_devices,
-        "n_rows": plan.n_rows,
-        "rows_per_device": [len(s.rows) for s in shares],
+        "n_rows": pstats.n_rows,
+        "rows_per_device": [len(share.rows) for share in executor.shares],
         "device_seconds": device_seconds,
         "merge_seconds": merge_seconds,
         "parallel_seconds": max(device_seconds, default=0.0) + merge_seconds,
         "serial_seconds": sum(device_seconds) + merge_seconds,
-        "n_cross_band_fragments": int(out_tile.size),
+        "n_cross_band_fragments": pstats.n_out_tile_fragments,
     }
+    mems = MatchSet(triplets, stats=pstats)
     mems.stats.update(stats)
     return mems, stats

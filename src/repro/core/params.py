@@ -23,8 +23,9 @@ Derived: ``block_width ℓblock = τ · w`` and ``tile_size ℓtile = n_block ·
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
+from repro.core.executors import EXECUTOR_NAMES
 from repro.errors import InvalidParameterError
 from repro.index.kmer_index import max_step, validate_sparsity
 
@@ -47,6 +48,10 @@ class GpuMemParams:
     work_per_thread: int | None = None
     load_balancing: bool = True
     backend: str = "vectorized"
+    #: Row executor of the staged pipeline: "serial", "threads", or "banded".
+    executor: str = "serial"
+    #: Pool width ("threads") or band count ("banded"); None = executor default.
+    workers: int | None = None
 
     def __post_init__(self):
         if self.min_length < 1:
@@ -89,6 +94,14 @@ class GpuMemParams:
             raise InvalidParameterError(
                 f"unknown backend {self.backend!r}; choose from {BACKENDS}"
             )
+        if self.executor not in EXECUTOR_NAMES:
+            raise InvalidParameterError(
+                f"unknown executor {self.executor!r}; choose from {EXECUTOR_NAMES}"
+            )
+        if self.workers is not None and self.workers < 1:
+            raise InvalidParameterError(
+                f"workers must be >= 1 (or None), got {self.workers}"
+            )
 
     # -- derived sizes (Table I) --------------------------------------------------
     @property
@@ -116,9 +129,14 @@ class GpuMemParams:
 
     def describe(self) -> str:
         """Human-readable one-line summary."""
-        return (
+        out = (
             f"L={self.min_length} ℓs={self.seed_length} Δs={self.step} "
             f"τ={self.threads_per_block} w={self.work_per_thread} "
             f"ℓblock={self.block_width} n_block={self.blocks_per_tile} "
             f"ℓtile={self.tile_size} balance={'on' if self.load_balancing else 'off'}"
         )
+        if self.executor != "serial":
+            out += f" exec={self.executor}"
+            if self.workers is not None:
+                out += f"×{self.workers}"
+        return out

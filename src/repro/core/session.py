@@ -1,0 +1,230 @@
+"""Reusable index sessions: build a reference's row indexes once, query forever.
+
+copMEM's lesson (Grabowski & Bieniecki 2018) is that a lightweight sampled
+k-mer index *amortized across queries* is the dominant cost lever for MEM
+extraction — yet the seed code rebuilt every per-row index on every
+``find_mems`` call. A :class:`MemSession` binds ``(reference, params)``
+once, lazily caches the per-row seed indexes as the pipeline first touches
+them, and then serves unlimited ``find_mems(query)`` calls at match-only
+cost. Every many-query consumer — :class:`repro.core.mapping.ReadMapper`,
+:func:`repro.core.distance.distance_matrix`, both-strand extraction, the
+CLI's per-record mode — is built on top of it.
+
+A small module-level LRU (:func:`get_session`) additionally shares
+sessions *between* calls keyed by reference fingerprint + params, so even
+API entry points that take raw sequences (``mem_distance``) amortize.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import time
+from collections import OrderedDict
+
+import numpy as np
+
+from repro.core.executors import RowExecutor, make_executor
+from repro.core.params import GpuMemParams
+from repro.core.pipeline import Pipeline, PipelineStats, as_codes
+from repro.index.kmer_index import KmerSeedIndex
+from repro.types import MatchSet
+
+
+class MemSession:
+    """MEM extraction bound to one ``(reference, params)`` pair.
+
+    The session is the pipeline's index cache: rows are built on first
+    touch (or all at once via :meth:`warm`) and reused by every subsequent
+    query, including reverse-complement strands and batch workloads.
+
+    Example::
+
+        session = MemSession(reference, min_length=20)
+        session.warm()                      # optional: prebuild all rows
+        for read in reads:
+            mems = session.find_mems(read)  # match-only cost per read
+    """
+
+    def __init__(
+        self,
+        reference,
+        params: GpuMemParams | None = None,
+        /,
+        *,
+        executor: RowExecutor | str | None = None,
+        **kwargs,
+    ):
+        if isinstance(executor, str):
+            # Route registry names through the params so they validate and
+            # show up in ``describe()`` like any other knob.
+            kwargs["executor"] = executor
+            executor = None
+        if params is None:
+            params = GpuMemParams(**kwargs)
+        elif kwargs:
+            params = params.with_(**kwargs)
+        self.params = params
+        self.reference = as_codes(reference)
+        if executor is None:
+            executor = make_executor(params.executor, params.workers)
+        self.pipeline = Pipeline(params, executor=executor)
+        #: Stats of the most recent :meth:`find_mems` run.
+        self.stats = PipelineStats(
+            backend=params.backend,
+            executor=self.pipeline.executor.name,
+            params=params.describe(),
+        )
+        self._row_indexes: dict[int, KmerSeedIndex] = {}
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._n_queries = 0
+
+    # -- index cache protocol (consumed by RowIndexStage) ----------------------
+    def get(self, row: int) -> KmerSeedIndex | None:
+        """Cache-protocol read: the row's index, or None if not yet built."""
+        index = self._row_indexes.get(row)
+        with self._lock:
+            if index is None:
+                self._misses += 1
+            else:
+                self._hits += 1
+        return index
+
+    def put(self, row: int, index: KmerSeedIndex) -> None:
+        """Cache-protocol write: remember a freshly built row index."""
+        self._row_indexes[row] = index
+
+    # -- geometry --------------------------------------------------------------
+    @property
+    def n_rows(self) -> int:
+        """Tile rows of the reference (query-independent)."""
+        ts = self.params.tile_size
+        return -(-self.reference.size // ts) if self.reference.size else 0
+
+    def row_index(self, row: int) -> KmerSeedIndex:
+        """The (cached) partial seed index of one tile row."""
+        plan = self.pipeline.plan_for(self.reference.size, self.params.tile_size)
+        index, _, _ = self.pipeline.row_index.run(
+            self.reference, plan, row, cache=self
+        )
+        return index
+
+    # -- lifecycle -------------------------------------------------------------
+    def warm(self) -> float:
+        """Build every missing row index now; returns the build seconds.
+
+        On a fresh session this is exactly the paper's Table III quantity
+        (index construction without matching); on a warm session it is ~0.
+        """
+        return self.pipeline.build_row_indexes(self.reference, cache=self)
+
+    def drop_indexes(self) -> None:
+        """Release all cached row indexes (memory pressure valve)."""
+        self._row_indexes.clear()
+
+    def cache_info(self) -> dict:
+        """Cache effectiveness counters and resident footprint."""
+        return {
+            "n_rows": self.n_rows,
+            "n_cached": len(self._row_indexes),
+            "hits": self._hits,
+            "misses": self._misses,
+            "n_queries": self._n_queries,
+            "nbytes_packed": sum(
+                ix.nbytes_packed for ix in self._row_indexes.values()
+            ),
+        }
+
+    # -- extraction ------------------------------------------------------------
+    def find_mems(self, query) -> MatchSet:
+        """All MEMs of ``query`` against the bound reference."""
+        query = as_codes(query)
+        self._n_queries += 1
+        if self.params.backend == "simulated":
+            from repro.core.simulated import simulated_find_mems
+
+            mems, stats = simulated_find_mems(self.reference, query, self.params)
+            self.stats = PipelineStats.from_dict(stats)
+            return MatchSet(mems, stats=self.stats)
+        mems, stats = self.pipeline.run(self.reference, query, index_cache=self)
+        self.stats = stats
+        return MatchSet(mems, stats=stats)
+
+    def find_mems_batch(self, queries) -> list[MatchSet]:
+        """Extract against many queries, reusing the cached indexes."""
+        return [self.find_mems(query) for query in queries]
+
+    def __repr__(self) -> str:
+        return (
+            f"MemSession(|R|={self.reference.size}, "
+            f"rows={len(self._row_indexes)}/{self.n_rows} cached, "
+            f"executor={self.pipeline.executor.name!r})"
+        )
+
+
+# -- shared session cache ------------------------------------------------------
+
+#: Most sessions a process keeps warm at once via :func:`get_session`.
+SESSION_CACHE_SIZE = 8
+
+_session_cache: OrderedDict[tuple, MemSession] = OrderedDict()
+_session_cache_lock = threading.Lock()
+
+
+def reference_fingerprint(codes: np.ndarray) -> str:
+    """Stable content hash of a code array (session cache key component)."""
+    codes = np.ascontiguousarray(codes, dtype=np.uint8)
+    return hashlib.sha1(codes.tobytes()).hexdigest()
+
+
+def get_session(
+    reference, params: GpuMemParams | None = None, /, **kwargs
+) -> MemSession:
+    """A shared :class:`MemSession` for ``(reference, params)``.
+
+    Sessions are cached in a small process-wide LRU keyed by the reference
+    content hash and the (hashable, frozen) params, so repeated calls with
+    the same sequence — e.g. ``mem_distance`` in both directions, or many
+    ``find_rare_mems`` calls against one genome — reuse the same indexes.
+    """
+    if params is None:
+        params = GpuMemParams(**kwargs)
+    elif kwargs:
+        params = params.with_(**kwargs)
+    codes = as_codes(reference)
+    key = (reference_fingerprint(codes), codes.size, params)
+    with _session_cache_lock:
+        session = _session_cache.get(key)
+        if session is not None:
+            _session_cache.move_to_end(key)
+            return session
+    session = MemSession(codes, params)
+    with _session_cache_lock:
+        _session_cache[key] = session
+        while len(_session_cache) > SESSION_CACHE_SIZE:
+            _session_cache.popitem(last=False)
+    return session
+
+
+def clear_session_cache() -> None:
+    """Drop every shared session (tests / memory pressure)."""
+    with _session_cache_lock:
+        _session_cache.clear()
+
+
+def session_cache_info() -> dict:
+    """Introspection for the shared session LRU."""
+    with _session_cache_lock:
+        return {
+            "n_sessions": len(_session_cache),
+            "capacity": SESSION_CACHE_SIZE,
+        }
+
+
+def time_warm(session: MemSession) -> float:
+    """Time :meth:`MemSession.warm` by wall clock (bench helper)."""
+    t0 = time.perf_counter()
+    session.warm()
+    return time.perf_counter() - t0

@@ -22,7 +22,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.matcher import GpuMem, _as_codes
+from repro.core.pipeline import as_codes
+from repro.core.session import MemSession
 from repro.errors import InvalidParameterError
 from repro.index.matching import SuffixArraySearcher
 from repro.sequence.alphabet import reverse_complement
@@ -67,15 +68,15 @@ def find_rare_mems(
         raise InvalidParameterError(
             f"max_query_occurrences must be >= 1, got {max_query_occurrences}"
         )
-    reference = _as_codes(reference)
-    query = _as_codes(query)
-    matcher = GpuMem(min_length=min_length, **kwargs)
-    mems = matcher.find_mems(reference, query)
+    reference = as_codes(reference)
+    query = as_codes(query)
+    session = MemSession(reference, min_length=min_length, **kwargs)
+    mems = session.find_mems(query)
     if len(mems) == 0:
         return mems
     in_ref, in_qry = occurrence_counts(mems, reference, query)
     keep = (in_ref <= max_ref_occurrences) & (in_qry <= max_query_occurrences)
-    out = MatchSet(mems.array[keep], stats=dict(matcher.stats))
+    out = MatchSet(mems.array[keep], stats=session.stats.to_dict())
     out.stats["variant"] = (
         f"rare(max_ref={max_ref_occurrences}, max_query={max_query_occurrences})"
     )
@@ -130,11 +131,14 @@ class StrandedMems:
 
 
 def find_mems_both_strands(reference, query, min_length: int, **kwargs) -> StrandedMems:
-    """MEMs on both strands (the CPU tools' ``-b``/``-c`` behaviour)."""
-    reference = _as_codes(reference)
-    query = _as_codes(query)
-    fwd = GpuMem(min_length=min_length, **kwargs).find_mems(reference, query)
-    rev = GpuMem(min_length=min_length, **kwargs).find_mems(
-        reference, reverse_complement(query)
-    )
+    """MEMs on both strands (the CPU tools' ``-b``/``-c`` behaviour).
+
+    Both strands share one :class:`MemSession`: the reference's row indexes
+    are built for the forward pass and reused verbatim for the
+    reverse-complement pass (the index depends only on the reference).
+    """
+    query = as_codes(query)
+    session = MemSession(reference, min_length=min_length, **kwargs)
+    fwd = session.find_mems(query)
+    rev = session.find_mems(reverse_complement(query))
     return StrandedMems(forward=fwd, reverse=rev, n_query=query.size)

@@ -12,7 +12,7 @@ from __future__ import annotations
 import io
 from dataclasses import dataclass, field
 
-from repro.gpu.kernel import Device, KernelReport
+from repro.gpu.kernel import Device
 
 
 @dataclass

@@ -84,12 +84,21 @@ class MatchSet:
     structured array as :attr:`array` for vectorized consumers.
     """
 
-    def __init__(self, triplets: np.ndarray, *, stats: dict | None = None):
+    def __init__(self, triplets: np.ndarray, *, stats=None):
         if triplets.dtype != TRIPLET_DTYPE:
             raise TypeError(f"expected TRIPLET_DTYPE array, got {triplets.dtype}")
         self._array = unique_mems(triplets)
-        #: Free-form pipeline statistics (timings, counter values, ...).
-        self.stats: dict = dict(stats or {})
+        #: Pipeline statistics: a typed
+        #: :class:`repro.core.pipeline.PipelineStats` (kept by reference, so
+        #: the producing matcher and the result expose the same object) or a
+        #: plain dict (copied) for ad-hoc annotations. Both support the
+        #: mapping protocol.
+        if stats is None:
+            self.stats = {}
+        elif isinstance(stats, dict):
+            self.stats = dict(stats)
+        else:
+            self.stats = stats
 
     @property
     def array(self) -> np.ndarray:

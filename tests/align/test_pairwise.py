@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.align.pairwise import AlignResult, edit_distance, global_align
+from repro.align.pairwise import edit_distance, global_align
 from repro.errors import InvalidParameterError
 
 from tests.conftest import dna

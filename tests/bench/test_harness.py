@@ -1,7 +1,5 @@
 """Tests for the bench harness (small divisors keep these fast)."""
 
-import numpy as np
-import pytest
 
 from repro.bench.harness import (
     gpumem_params,

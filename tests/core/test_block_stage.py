@@ -1,7 +1,6 @@
 """Direct tests of the block kernel (repro.core.block_stage)."""
 
 import numpy as np
-import pytest
 
 from repro.core.block_stage import BlockTask, _seed_value, block_kernel
 from repro.core.params import GpuMemParams

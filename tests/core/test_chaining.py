@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.core.chaining import Chain, chain_anchors, chain_anchors_naive
+from repro.core.chaining import chain_anchors, chain_anchors_naive
 from repro.types import triplets_from_tuples
 
 anchors_strategy = st.lists(

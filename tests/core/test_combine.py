@@ -1,6 +1,5 @@
 """Tests for repro.core.combine (Algorithm 3)."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 

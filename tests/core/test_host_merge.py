@@ -5,7 +5,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro.core.host_merge import combine_diagonal, finalize_mems, host_merge
 from repro.core.combine import chain_merge_expected
-from repro.types import make_triplets, triplets_from_tuples
+from repro.types import triplets_from_tuples
 
 
 class TestCombineDiagonal:

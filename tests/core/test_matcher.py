@@ -1,10 +1,8 @@
 """Tests for repro.core.matcher (the public GpuMem driver)."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
-import repro
 from repro.core.matcher import GpuMem, find_mems
 from repro.core.params import GpuMemParams
 from repro.core.reference import brute_force_mems

@@ -6,7 +6,6 @@ import pytest
 from repro.core.params import GpuMemParams
 from repro.core.perf_model import ModelResult, load_balance_speedup, model_extraction
 from repro.core.simulated import simulated_find_mems
-from repro.gpu.device import TESLA_K20C
 from repro.sequence.synthetic import markov_dna, plant_homology, plant_repeats
 
 

@@ -3,8 +3,7 @@
 import numpy as np
 import pytest
 
-import repro
-from repro.core.records import RecordMatch, best_pairing, find_mems_records, total_matches
+from repro.core.records import best_pairing, find_mems_records, total_matches
 from repro.errors import InvalidParameterError
 from repro.sequence.fasta import FastaRecord
 

@@ -1,7 +1,6 @@
 """Tests for the simulated backend (block kernel + tile stage + driver)."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.params import GpuMemParams

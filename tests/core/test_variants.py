@@ -2,7 +2,7 @@
 
 import numpy as np
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, settings
 
 import repro
 from repro.core.variants import (
@@ -76,7 +76,7 @@ class TestFindMums:
 
     def test_paper_motivation_repeats_kill_mums(self):
         """§I: when repeats abound, MEMs >> MUMs."""
-        from repro.sequence.synthetic import markov_dna, plant_repeats, plant_homology
+        from repro.sequence.synthetic import plant_repeats, plant_homology
 
         R = plant_repeats(
             repro.random_dna(8000, seed=1), seed=2,

@@ -5,7 +5,7 @@ import pytest
 
 from repro.errors import KernelError
 from repro.gpu.costmodel import GLOBAL_MEM_COST
-from repro.gpu.device import TEST_DEVICE, DeviceSpec
+from repro.gpu.device import TEST_DEVICE
 from repro.gpu.kernel import Device
 
 

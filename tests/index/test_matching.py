@@ -6,7 +6,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro.errors import InvalidParameterError
 from repro.index.matching import SuffixArraySearcher, sparse_suffix_positions
-from repro.index.suffix_array import suffix_array, verify_suffix_array
+from repro.index.suffix_array import suffix_array
 
 from tests.conftest import dna, dna_pair
 

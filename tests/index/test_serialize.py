@@ -30,8 +30,6 @@ class TestKmerIndexRoundTrip:
         assert np.array_equal(back.locs, idx.locs)
 
     def test_loaded_index_matches(self, ref, tmp_path):
-        import repro
-
         idx = build_kmer_index(ref, seed_length=4, step=3)
         p = tmp_path / "idx.npz"
         save_kmer_index(idx, p)

@@ -1,12 +1,10 @@
 """Tests for repro.sequence.formats (MUMmer / PAF interchange)."""
 
-import numpy as np
 import pytest
 
 import repro
 from repro.errors import InvalidSequenceError
 from repro.sequence.formats import (
-    PafRecord,
     alignment_to_paf,
     mems_to_paf,
     read_mummer,

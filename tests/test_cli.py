@@ -1,10 +1,8 @@
 """Tests for the command-line interface."""
 
-import numpy as np
 import pytest
 
 from repro.cli import main
-from repro.sequence.alphabet import decode
 from repro.sequence.fasta import write_fasta
 from repro.sequence.synthetic import markov_dna, plant_homology
 

@@ -20,7 +20,7 @@ from repro.core.params import GpuMemParams
 from repro.core.reference import brute_force_mems
 from repro.core.simulated import simulated_find_mems
 from repro.gpu.device import TEST_DEVICE
-from repro.types import mems_equal, unique_mems
+from repro.types import mems_equal
 
 from tests.conftest import dna_pair
 

@@ -6,12 +6,9 @@ tests (which compare engines on identical inputs).
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 import repro
-from repro.core.reference import brute_force_mems
-from repro.types import mems_equal
 
 from tests.conftest import dna_pair
 

@@ -5,7 +5,6 @@ overflow, tile-row streaming mistakes, memory blow-ups — by running a
 realistic 1 Mbp problem and cross-checking against an independent engine.
 """
 
-import numpy as np
 import pytest
 
 import repro
