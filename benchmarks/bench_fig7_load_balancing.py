@@ -20,8 +20,8 @@ from repro.bench.harness import BENCH_DIV, gpumem_params
 from repro.bench.harness import bench_pair as _bench_pair
 from repro.bench.reporting import series_csv
 from repro.bench.workloads import PAPER_FIG7_SPEEDUP_RANGE, experiment_rows
-from repro.core.perf_model import load_balance_speedup
 from repro.core.params import GpuMemParams
+from repro.core.perf_model import load_balance_speedup
 from repro.core.simulated import simulated_find_mems
 from repro.sequence.datasets import EXPERIMENT_CONFIGS
 

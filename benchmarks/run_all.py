@@ -19,19 +19,19 @@ from pathlib import Path
 
 sys.path.insert(0, os.path.dirname(__file__))
 
-import bench_table2_datasets
-import bench_table3_index_build
-import bench_table4_extraction
+import bench_ablation_devices
+import bench_ablation_multidevice
+import bench_ablation_sparsity
+import bench_ablation_tiling
 import bench_fig4_query_scaling
 import bench_fig5_minlen_scaling
 import bench_fig6_seed_histogram
 import bench_fig7_load_balancing
-import bench_ablation_sparsity
-import bench_ablation_tiling
-import bench_ablation_multidevice
 import bench_sa_builders
-import bench_ablation_devices
 import bench_session_reuse
+import bench_table2_datasets
+import bench_table3_index_build
+import bench_table4_extraction
 
 TARGETS = [
     ("table2_datasets", lambda div: bench_table2_datasets.generate_table()),

@@ -34,7 +34,7 @@ def main() -> None:
 
     print(f"MEM-coverage distance to reference (L = {MIN_LENGTH}):")
     distances = []
-    for d, asm in zip(divergences, assemblies):
+    for d, asm in zip(divergences, assemblies, strict=True):
         cov = mem_coverage(reference, asm, min_length=MIN_LENGTH)
         dist = 1.0 - cov
         distances.append(dist)
@@ -42,7 +42,7 @@ def main() -> None:
         print(f"  divergence {d:5.1%}  distance {dist:6.3f}  {bar}")
 
     # The distance must be monotone in the true divergence.
-    assert all(a <= b + 1e-9 for a, b in zip(distances, distances[1:])), distances
+    assert all(a <= b + 1e-9 for a, b in zip(distances, distances[1:], strict=False)), distances
     print("distance is monotone in true divergence — matches Garcia et al.'s premise")
 
 

@@ -55,7 +55,7 @@ def main() -> None:
     correct = unmapped = 0
     support = []
     mapqs = []
-    for read, truth in zip(reads, true_pos):
+    for read, truth in zip(reads, true_pos, strict=True):
         m = mapper.map_read(read)
         if not m.mapped:
             unmapped += 1

@@ -34,20 +34,6 @@ Quickstart::
 from __future__ import annotations
 
 from repro._version import __version__
-from repro.errors import (
-    GpuMemError,
-    InvalidParameterError,
-    InvalidSequenceError,
-    MemoryBudgetError,
-)
-from repro.types import MEM_DTYPE, TRIPLET_DTYPE, MatchSet, sort_mems
-from repro.sequence import (
-    decode,
-    encode,
-    mutate,
-    random_dna,
-    reverse_complement,
-)
 from repro.core import (
     GpuMem,
     GpuMemParams,
@@ -62,6 +48,20 @@ from repro.core import (
     find_rare_mems,
     get_session,
 )
+from repro.errors import (
+    GpuMemError,
+    InvalidParameterError,
+    InvalidSequenceError,
+    MemoryBudgetError,
+)
+from repro.sequence import (
+    decode,
+    encode,
+    mutate,
+    random_dna,
+    reverse_complement,
+)
+from repro.types import MEM_DTYPE, TRIPLET_DTYPE, MatchSet, sort_mems
 
 __all__ = [
     "__version__",

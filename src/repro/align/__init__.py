@@ -8,9 +8,9 @@ anchor segments with aligned gaps into one end-to-end alignment
 (:mod:`repro.align.anchored`).
 """
 
-from repro.align.pairwise import AlignResult, edit_distance, global_align
 from repro.align.affine import banded_align, global_align_affine
 from repro.align.anchored import AnchoredAlignment, align_from_anchors
+from repro.align.pairwise import AlignResult, edit_distance, global_align
 
 __all__ = [
     "global_align",

@@ -1,0 +1,41 @@
+"""SIMT correctness tooling for the simulated GPU.
+
+Two complementary layers (see ``docs/analysis.md``):
+
+- :mod:`repro.analysis.kernel_lint` — static AST lint over kernel generator
+  functions: barrier divergence, non-atomic shared writes, unaccounted
+  loops, dtype discipline. Run via ``gpumem analyze [paths...]``; wired
+  into CI as a gate.
+- :mod:`repro.analysis.sanitizer` — opt-in runtime race/divergence
+  detector: attach a :class:`Sanitizer` to a
+  :class:`repro.gpu.kernel.Device` and every shared-memory / array-argument
+  access is checked, per barrier phase, for write-write and read-write
+  conflicts with thread/block/phase provenance. The ``sanitized_device``
+  pytest fixture (``repro.analysis.pytest_sanitizer``) packages this for
+  kernel tests.
+"""
+
+from repro.analysis.kernel_lint import (
+    RULES,
+    Finding,
+    findings_to_json,
+    format_findings,
+    lint_file,
+    lint_paths,
+    lint_source,
+)
+from repro.analysis.sanitizer import Access, RaceFinding, Sanitizer, TrackedArray
+
+__all__ = [
+    "RULES",
+    "Access",
+    "Finding",
+    "RaceFinding",
+    "Sanitizer",
+    "TrackedArray",
+    "findings_to_json",
+    "format_findings",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+]

@@ -1,0 +1,38 @@
+"""Pytest plugin: run simulated-GPU kernels under the SIMT sanitizer.
+
+Register it from a ``conftest.py``::
+
+    pytest_plugins = ["repro.analysis.pytest_sanitizer"]
+
+and take the ``sanitized_device`` fixture in kernel tests. Launches on that
+device record every shared-memory and array-argument access; the fixture
+fails the test at teardown if any race was observed (barrier divergence
+raises :class:`repro.errors.BarrierDivergenceError` immediately, as always).
+
+For tests that *expect* races, take ``simt_sanitizer`` directly and assert
+on its ``findings``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.sanitizer import Sanitizer
+from repro.gpu.device import TEST_DEVICE
+from repro.gpu.kernel import Device
+
+
+@pytest.fixture
+def simt_sanitizer() -> Sanitizer:
+    """A fresh collecting sanitizer (no teardown assertion)."""
+    return Sanitizer(mode="collect")
+
+
+@pytest.fixture
+def sanitized_device(simt_sanitizer):
+    """A TEST_DEVICE whose launches are race-checked; asserts clean at exit."""
+    device = Device(TEST_DEVICE, schedule_seed=1, sanitizer=simt_sanitizer)
+    yield device
+    assert not simt_sanitizer.findings, (
+        "SIMT sanitizer found races:\n" + simt_sanitizer.format_findings()
+    )

@@ -16,11 +16,11 @@ parallelism is modeled deterministically (max-of-chunks,
 exactly as the paper describes (§IV-B last paragraph).
 """
 
-from repro.baselines.base import BuildResult, MEMFinder, MatchResult
-from repro.baselines.mummer import MummerFinder
-from repro.baselines.sparsemem import SparseMemFinder
+from repro.baselines.base import BuildResult, MatchResult, MEMFinder
 from repro.baselines.essamem import EssaMemFinder
+from repro.baselines.mummer import MummerFinder
 from repro.baselines.slamem import SlaMemFinder
+from repro.baselines.sparsemem import SparseMemFinder
 from repro.baselines.threads import parallel_query_time, split_query
 
 ALL_FINDERS = {

@@ -132,7 +132,7 @@ class SlaMemFinder(MEMFinder):
             return empty_triplets()
         r_all = np.concatenate(out_r)
         q_all = np.concatenate(
-            [np.full(rs.size, qq, dtype=np.int64) for rs, qq in zip(out_r, out_q)]
+            [np.full(rs.size, qq, dtype=np.int64) for rs, qq in zip(out_r, out_q, strict=True)]
         )
         l_all = np.concatenate(out_l)
         # Left-maximality on the text.

@@ -143,7 +143,7 @@ def run_session_reuse_experiment(
     session_results = session.find_mems_batch(queries)
     session_seconds = time.perf_counter() - t0
 
-    for a, b in zip(per_call_results, session_results):
+    for a, b in zip(per_call_results, session_results, strict=True):
         if not mems_equal(a.array, b.array):
             raise GpuMemError(
                 "session-reuse changed the MEM set — outputs must be identical"

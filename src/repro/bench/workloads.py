@@ -30,7 +30,7 @@ def experiment_rows() -> list[ExperimentConfig]:
 
 
 def _row(key, *vals):
-    return {key: dict(zip(TOOL_COLUMNS, vals))}
+    return {key: dict(zip(TOOL_COLUMNS, vals, strict=True))}
 
 
 #: Published index-generation seconds (Table III). sparseMEM/essaMEM/MUMmer/
@@ -48,7 +48,7 @@ for k, v in [
     ("chrXII/chrI/L20", (0.22, 0.09, 0.10, 0.31, 0.13, 0.13, 0.26, 1.68, 0.38)),
     ("chrXII/chrI/L10", (0.22, 0.09, 0.10, 0.31, 0.13, 0.13, 0.26, 1.68, 0.05)),
 ]:
-    PAPER_TABLE3[k] = dict(zip(TOOL_COLUMNS, v))
+    PAPER_TABLE3[k] = dict(zip(TOOL_COLUMNS, v, strict=True))
 
 #: Published MEM-extraction seconds (Table IV).
 PAPER_TABLE4: dict[str, dict[str, float]] = {}
@@ -63,7 +63,7 @@ for k, v in [
     ("chrXII/chrI/L20", (0.08, 0.13, 0.08, 0.08, 0.01, 0.01, 0.08, 0.06, 0.01)),
     ("chrXII/chrI/L10", (0.13, 0.25, 2.34, 0.13, 0.08, 2.19, 0.14, 0.11, 0.02)),
 ]:
-    PAPER_TABLE4[k] = dict(zip(TOOL_COLUMNS, v))
+    PAPER_TABLE4[k] = dict(zip(TOOL_COLUMNS, v, strict=True))
 
 #: Fig. 4: query prefixes of chr2h (fractions of the full length), ref chr1m,
 #: L = 50. Paper uses 50/100/150/200/242.97 Mbp.

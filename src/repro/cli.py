@@ -7,6 +7,7 @@ Subcommands mirror how the paper's tools are driven:
 - ``gpumem index ref.fa -l 50``               — time/report the index build.
 - ``gpumem dataset chr1m out.fa``             — write a Table II analogue.
 - ``gpumem bench --only table3``              — regenerate evaluation assets.
+- ``gpumem analyze src/repro``                — static SIMT lint (CI gate).
 """
 
 from __future__ import annotations
@@ -200,6 +201,31 @@ def cmd_bench(args) -> int:
     return subprocess.call(cmd)
 
 
+def cmd_analyze(args) -> int:
+    import os
+
+    from repro.analysis.kernel_lint import (
+        findings_to_json,
+        format_findings,
+        lint_paths,
+    )
+
+    paths = args.paths
+    if not paths:
+        # default: the installed package itself (works outside a checkout)
+        import repro
+
+        paths = [os.path.dirname(repro.__file__)]
+    select = args.select.split(",") if args.select else None
+    ignore = args.ignore.split(",") if args.ignore else None
+    findings = lint_paths(paths, select=select, ignore=ignore)
+    if args.format == "json":
+        print(findings_to_json(findings))
+    else:
+        print(format_findings(findings))
+    return 1 if findings else 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="gpumem", description="GPUMEM reproduction: maximal exact match extraction"
@@ -240,6 +266,21 @@ def main(argv=None) -> int:
     p.add_argument("--only", nargs="*", default=None)
     p.add_argument("--div", type=int, default=None)
     p.set_defaults(fn=cmd_bench)
+
+    p = sub.add_parser(
+        "analyze",
+        help="static SIMT lint: barrier divergence, shared-memory races, "
+             "work accounting, dtype discipline (exit 1 on any finding)",
+    )
+    p.add_argument("paths", nargs="*", metavar="PATH",
+                   help="files or directories to lint "
+                        "(default: the installed repro package)")
+    p.add_argument("--format", choices=("text", "json"), default="text")
+    p.add_argument("--select", metavar="RULES", default=None,
+                   help="comma-separated rule ids to report (e.g. KL101,KL102)")
+    p.add_argument("--ignore", metavar="RULES", default=None,
+                   help="comma-separated rule ids to suppress")
+    p.set_defaults(fn=cmd_analyze)
 
     args = parser.parse_args(argv)
     return args.fn(args)

@@ -17,32 +17,32 @@ Public surface:
 - :func:`~repro.core.reference.brute_force_mems` — independent ground truth.
 """
 
-from repro.core.params import GpuMemParams
-from repro.core.reference import brute_force_mems
-from repro.core.matcher import GpuMem, find_mems
-from repro.core.pipeline import Pipeline, PipelineStats
-from repro.core.session import (
-    MemSession,
-    clear_session_cache,
-    get_session,
-)
+from repro.core.chaining import Chain, chain_anchors
+from repro.core.distance import distance_matrix, mem_coverage, mem_distance
 from repro.core.executors import (
     BandedExecutor,
     SerialExecutor,
     ThreadPoolRowExecutor,
     make_executor,
 )
+from repro.core.mapping import ReadMapper, ReadMapping
+from repro.core.matcher import GpuMem, find_mems
+from repro.core.multi_device import find_mems_multi_device
+from repro.core.params import GpuMemParams
+from repro.core.pipeline import Pipeline, PipelineStats
+from repro.core.reference import brute_force_mems
+from repro.core.session import (
+    MemSession,
+    clear_session_cache,
+    get_session,
+)
+from repro.core.synteny import SyntenyBlock, block_coverage, synteny_blocks
 from repro.core.variants import (
     StrandedMems,
     find_mems_both_strands,
     find_mums,
     find_rare_mems,
 )
-from repro.core.chaining import Chain, chain_anchors
-from repro.core.synteny import SyntenyBlock, block_coverage, synteny_blocks
-from repro.core.multi_device import find_mems_multi_device
-from repro.core.mapping import ReadMapper, ReadMapping
-from repro.core.distance import distance_matrix, mem_coverage, mem_distance
 
 __all__ = [
     "GpuMemParams",

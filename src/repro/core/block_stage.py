@@ -199,6 +199,7 @@ def block_kernel(ctx, st: BlockTask):
         if tid == 0:
             for lst in store:
                 lst.clear()
+                ctx.work(1)
         yield
         my_trips: list[list[int]] = []
         if g >= 0 and members > 0:

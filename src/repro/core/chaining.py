@@ -19,7 +19,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.types import MatchSet, TRIPLET_DTYPE
+from repro.types import TRIPLET_DTYPE, MatchSet
 
 
 @dataclass(frozen=True)

@@ -157,7 +157,7 @@ def imbalance_ratio(share: np.ndarray, warp_size: int) -> float:
     if share.size == 0 or share.sum() == 0:
         return 0.0
     n_warp = -(-share.size // warp_size)
-    padded = np.zeros(n_warp * warp_size)
+    padded = np.zeros(n_warp * warp_size, dtype=np.float64)
     padded[: share.size] = share
     warp_max = padded.reshape(n_warp, warp_size).max(axis=1)
     denom = warp_max.mean()

@@ -17,7 +17,7 @@ import networkx as nx
 import numpy as np
 
 from repro.errors import InvalidParameterError
-from repro.types import MatchSet, TRIPLET_DTYPE
+from repro.types import TRIPLET_DTYPE, MatchSet
 
 
 @dataclass(frozen=True)

@@ -34,5 +34,41 @@ class KernelError(GpuMemError, RuntimeError):
     """A simulated GPU kernel misbehaved (barrier divergence, bad launch...)."""
 
 
+class BarrierDivergenceError(KernelError):
+    """Threads of one block diverged at a ``__syncthreads`` barrier.
+
+    Raised by the executor when some threads of a block exit their generator
+    while siblings still yield — the simulator's equivalent of the undefined
+    behaviour a divergent ``__syncthreads`` has on real hardware. Carries
+    structured provenance so tooling (and tests) need not parse the message.
+    """
+
+    def __init__(self, kernel: str, block: int, phase: int, exited, waiting):
+        self.kernel = kernel
+        self.block = int(block)
+        self.phase = int(phase)
+        #: thread ids whose generators completed this phase
+        self.exited = tuple(int(t) for t in exited)
+        #: thread ids still waiting at the barrier
+        self.waiting = tuple(int(t) for t in waiting)
+        super().__init__(
+            f"barrier divergence in kernel {kernel!r} block {self.block} "
+            f"phase {self.phase}: threads {list(self.exited)} exited while "
+            f"threads {list(self.waiting)} wait at a barrier"
+        )
+
+
+class RaceConditionError(KernelError):
+    """The runtime sanitizer observed a shared-memory race in a kernel.
+
+    ``findings`` holds the :class:`repro.analysis.sanitizer.RaceFinding`
+    records (thread/block/phase/address provenance) that triggered it.
+    """
+
+    def __init__(self, message: str, findings=()):
+        self.findings = tuple(findings)
+        super().__init__(message)
+
+
 class IndexError_(GpuMemError, RuntimeError):
     """An index structure is inconsistent (used by self-check utilities)."""

@@ -19,11 +19,11 @@ This reproduces the *phenomena* the paper measures (divergence, load
 imbalance, occupancy) without claiming cycle accuracy.
 """
 
+from repro.gpu.costmodel import GLOBAL_MEM_COST, CostModel
 from repro.gpu.device import TESLA_K20C, TEST_DEVICE, DeviceSpec
-from repro.gpu.memory import GlobalMemory, SharedMemory
 from repro.gpu.kernel import Device, KernelReport, ThreadCtx
+from repro.gpu.memory import GlobalMemory, SharedMemory
 from repro.gpu.primitives import exclusive_prefix_sum_kernel, gpu_prefix_sum, gpu_segment_sort
-from repro.gpu.costmodel import CostModel, GLOBAL_MEM_COST
 from repro.gpu.profiler import DeviceProfile, profile_device
 
 __all__ = [

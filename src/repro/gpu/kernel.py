@@ -19,14 +19,31 @@ cycles.
 
 from __future__ import annotations
 
+import inspect
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
-from repro.errors import KernelError
+from repro.errors import BarrierDivergenceError, KernelError
 from repro.gpu.costmodel import CostModel
-from repro.gpu.device import DeviceSpec, TESLA_K20C
+from repro.gpu.device import TESLA_K20C, DeviceSpec
 from repro.gpu.memory import GlobalMemory, SharedMemory
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a hard dependency
+    from repro.analysis.sanitizer import Sanitizer
+
+
+def _unwrap(array):
+    """The raw ndarray behind a sanitizer :class:`TrackedArray` (or itself)."""
+    return getattr(array, "_simt_base", array)
+
+
+def _note_atomic(array, index) -> None:
+    """Report an atomic access if ``array`` is sanitizer-tracked."""
+    san = getattr(array, "_simt_san", None)
+    if san is not None:
+        san.record_atomic(array._simt_name, index)
 
 
 class ThreadCtx:
@@ -60,24 +77,30 @@ class ThreadCtx:
         """
         from repro.gpu.costmodel import GLOBAL_MEM_COST
 
-        old = array[index]
-        array[index] = old + value
+        base = _unwrap(array)
+        _note_atomic(array, index)
+        old = base[index]
+        base[index] = old + value
         self.work(GLOBAL_MEM_COST)
         return old.item() if hasattr(old, "item") else old
 
     def atomic_max(self, array: np.ndarray, index: int, value) -> int:
         from repro.gpu.costmodel import GLOBAL_MEM_COST
 
-        old = array[index]
-        array[index] = max(old, value)
+        base = _unwrap(array)
+        _note_atomic(array, index)
+        old = base[index]
+        base[index] = max(old, value)
         self.work(GLOBAL_MEM_COST)
         return old.item() if hasattr(old, "item") else old
 
     def atomic_exch(self, array: np.ndarray, index: int, value) -> int:
         from repro.gpu.costmodel import GLOBAL_MEM_COST
 
-        old = array[index]
-        array[index] = value
+        base = _unwrap(array)
+        _note_atomic(array, index)
+        old = base[index]
+        base[index] = value
         self.work(GLOBAL_MEM_COST)
         return old.item() if hasattr(old, "item") else old
 
@@ -111,13 +134,39 @@ class KernelReport:
 class Device:
     """One simulated GPU: memory + kernel launcher + accumulated reports."""
 
-    def __init__(self, spec: DeviceSpec = TESLA_K20C, *, schedule_seed: int = 0):
+    def __init__(
+        self,
+        spec: DeviceSpec = TESLA_K20C,
+        *,
+        schedule_seed: int = 0,
+        sanitizer: Sanitizer | None = None,
+    ):
         self.spec = spec
         self.memory = GlobalMemory(spec)
         self.cost_model = CostModel(spec)
         self.reports: list[KernelReport] = []
         self._schedule_seed = int(schedule_seed)
         self._launch_counter = 0
+        #: opt-in runtime race detector (see :mod:`repro.analysis.sanitizer`)
+        self.sanitizer = sanitizer
+
+    @staticmethod
+    def _wrap_args(kernel, args: tuple, san: Sanitizer) -> tuple:
+        """Wrap ndarray kernel arguments in sanitizer proxies.
+
+        Arrays get their parameter name from the kernel's signature (best
+        effort) so race reports read ``locs[17]``, not ``arg3[17]``.
+        """
+        try:
+            params = [p.name for p in inspect.signature(kernel).parameters.values()]
+            names = params[1 : 1 + len(args)]  # skip ctx
+        except (TypeError, ValueError):  # builtins / odd callables
+            names = []
+        names += [f"arg{i}" for i in range(len(names), len(args))]
+        return tuple(
+            san.wrap(a, n) if isinstance(a, np.ndarray) else a
+            for a, n in zip(args, names, strict=True)
+        )
 
     # -- kernel launch ------------------------------------------------------------
     def launch(self, kernel, grid: int, block: int, *args, name: str | None = None) -> KernelReport:
@@ -132,6 +181,10 @@ class Device:
         self._launch_counter += 1
         rng = np.random.default_rng(self._schedule_seed + 7919 * self._launch_counter)
 
+        san = self.sanitizer
+        if san is not None:
+            args = self._wrap_args(kernel, args, san)
+
         warp = self.spec.warp_size
         n_phases_seen = 0
         warp_max_total = 0.0
@@ -139,7 +192,7 @@ class Device:
         block_cycles: list[float] = []
 
         for bid in range(grid):
-            shared = SharedMemory(self.spec)
+            shared = SharedMemory(self.spec, sanitizer=san)
             ctxs = [ThreadCtx(tid, bid, block, grid, shared) for tid in range(block)]
             gens = [kernel(ctx, *args) for ctx in ctxs]
             alive = list(range(block))
@@ -150,18 +203,26 @@ class Device:
                 yielded: list[int] = []
                 for pos in order:
                     t = alive[pos]
+                    if san is not None:
+                        san.begin_thread_step(name, bid, phase, t)
                     try:
                         next(gens[t])
                         yielded.append(t)
                     except StopIteration:
                         finished.append(t)
+                    finally:
+                        if san is not None:
+                            san.end_thread_step()
                     ctxs[t]._end_phase()
+                if san is not None:
+                    san.end_phase(name, bid, phase)
                 if yielded and finished:
-                    raise KernelError(
-                        f"barrier divergence in kernel {name!r} block {bid} "
-                        f"phase {phase}: threads {sorted(finished)[:4]}... exited "
-                        f"while others wait at a barrier"
+                    error = BarrierDivergenceError(
+                        name, bid, phase, sorted(finished), sorted(yielded)
                     )
+                    if san is not None:
+                        san.record_divergence(error)
+                    raise error
                 alive = sorted(yielded)
                 phase += 1
             n_phases_seen = max(n_phases_seen, phase)

@@ -69,11 +69,19 @@ class GlobalMemory:
 
 
 class SharedMemory:
-    """Per-block shared memory: named arrays within the block budget."""
+    """Per-block shared memory: named arrays within the block budget.
 
-    def __init__(self, spec: DeviceSpec):
+    When a sanitizer is attached (see :mod:`repro.analysis.sanitizer`),
+    :meth:`array` hands out recording proxies instead of raw arrays, so
+    every shared-memory access a kernel makes is attributed to the running
+    thread and checked for races at each barrier.
+    """
+
+    def __init__(self, spec: DeviceSpec, *, sanitizer=None):
         self.spec = spec
         self._arrays: dict[str, np.ndarray] = {}
+        self._sanitizer = sanitizer
+        self._wrapped: dict[str, object] = {}
 
     def array(self, name: str, shape, dtype) -> np.ndarray:
         """Get-or-create a shared array (all threads of the block see it)."""
@@ -86,4 +94,8 @@ class SharedMemory:
                     f"> {self.spec.shared_mem_per_block} per block"
                 )
             self._arrays[name] = arr
+            if self._sanitizer is not None:
+                self._wrapped[name] = self._sanitizer.wrap(arr, f"shared:{name}")
+        if self._sanitizer is not None:
+            return self._wrapped[name]
         return self._arrays[name]

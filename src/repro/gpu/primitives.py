@@ -78,7 +78,7 @@ def gpu_segment_sort(device: Device, values: np.ndarray, seg_starts: np.ndarray)
         raise KernelError("seg_starts must start at 0 and end at len(values)")
     lengths = np.diff(seg_starts)
     out = values
-    for lo, hi in zip(seg_starts[:-1], seg_starts[1:]):
+    for lo, hi in zip(seg_starts[:-1], seg_starts[1:], strict=True):
         if hi - lo > 1:
             out[lo:hi] = np.sort(out[lo:hi])
     # Warp-max accounting: group segments into warps of warp_size threads.

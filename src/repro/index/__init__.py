@@ -7,31 +7,31 @@ enhanced sparse suffix arrays, and the CPU reference of GPUMEM's
 ``locs``/``ptrs`` k-mer index.
 """
 
+from repro.index.bwt import bwt_from_sa, bwt_transform, inverse_bwt
 from repro.index.compare import (
     common_prefix_len,
     common_suffix_len,
     compare_positions,
 )
-from repro.index.suffix_array import (
-    naive_suffix_array,
-    rank_array,
-    suffix_array,
-    verify_suffix_array,
-)
-from repro.index.sais import sais_suffix_array
-from repro.index.lcp import lcp_array, lcp_kasai, naive_lcp_array
-from repro.index.rmq import SparseTableRMQ
-from repro.index.bwt import bwt_from_sa, bwt_transform, inverse_bwt
-from repro.index.fm_index import FMIndex
-from repro.index.sparse_sa import SparseSuffixArray
 from repro.index.esa import EnhancedSparseSuffixArray, LCPIntervals
+from repro.index.fm_index import FMIndex
 from repro.index.kmer_index import KmerSeedIndex, build_kmer_index
+from repro.index.lcp import lcp_array, lcp_kasai, naive_lcp_array
 from repro.index.matching import SuffixArraySearcher
+from repro.index.rmq import SparseTableRMQ
+from repro.index.sais import sais_suffix_array
 from repro.index.serialize import (
     load_kmer_index,
     load_searcher,
     save_kmer_index,
     save_searcher,
+)
+from repro.index.sparse_sa import SparseSuffixArray
+from repro.index.suffix_array import (
+    naive_suffix_array,
+    rank_array,
+    suffix_array,
+    verify_suffix_array,
 )
 
 __all__ = [

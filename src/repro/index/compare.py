@@ -141,6 +141,8 @@ def compare_positions(
     # Character (or sentinel) that decided the comparison.
     ia = pa + lcp
     ib = pb + lcp
-    ca = np.where(ia < a.size, a[np.minimum(ia, a.size - 1)].astype(np.int16), -1)
-    cb = np.where(ib < b.size, b[np.minimum(ib, b.size - 1)].astype(np.int16), -1)
-    return np.sign(ca - cb).astype(np.int8)
+    # int16/int8 are deliberate: bases are uint8 widened so the -1 sentinel
+    # fits, and the result is a -1/0/+1 sign — no index/offset lives here.
+    ca = np.where(ia < a.size, a[np.minimum(ia, a.size - 1)].astype(np.int16), -1)  # simt: ignore[KL202]
+    cb = np.where(ib < b.size, b[np.minimum(ib, b.size - 1)].astype(np.int16), -1)  # simt: ignore[KL202]
+    return np.sign(ca - cb).astype(np.int8)  # simt: ignore[KL202]

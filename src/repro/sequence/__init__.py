@@ -18,16 +18,6 @@ from repro.sequence.alphabet import (
     random_dna,
     reverse_complement,
 )
-from repro.sequence.packed import PackedSequence, kmer_codes, pack_bits, unpack_bits
-from repro.sequence.fasta import read_fasta, write_fasta
-from repro.sequence.synthetic import (
-    SyntheticGenomeSpec,
-    markov_dna,
-    mutate,
-    plant_homology,
-    plant_repeats,
-    synthesize_pair,
-)
 from repro.sequence.datasets import (
     DATASETS,
     EXPERIMENT_CONFIGS,
@@ -35,6 +25,16 @@ from repro.sequence.datasets import (
     ExperimentConfig,
     load_dataset,
     load_experiment,
+)
+from repro.sequence.fasta import read_fasta, write_fasta
+from repro.sequence.packed import PackedSequence, kmer_codes, pack_bits, unpack_bits
+from repro.sequence.synthetic import (
+    SyntheticGenomeSpec,
+    markov_dna,
+    mutate,
+    plant_homology,
+    plant_repeats,
+    synthesize_pair,
 )
 
 __all__ = [

@@ -137,7 +137,7 @@ def plant_repeats(
     out = np.ascontiguousarray(codes, dtype=np.uint8).copy()
     n = out.size
     rng = np.random.default_rng(seed)
-    for fam in range(n_families):
+    for _fam in range(n_families):
         flen = int(rng.integers(family_length[0], family_length[1] + 1))
         if flen >= n:
             continue

@@ -1,0 +1,65 @@
+"""Deliberately buggy kernels: the adversarial fixture for the SIMT tooling.
+
+Each function plants exactly one bug class from ``docs/analysis.md``. The
+static lint must flag every one of them, and the runtime sanitizer must
+catch the racy/divergent ones when they execute. Importing this module is
+harmless — the bugs only manifest when a kernel is launched.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def racy_shared_write(ctx, out):
+    """KL102 / write-write race: every thread stores to the same address."""
+    out[0] = ctx.tid
+    yield
+
+
+def racy_read_write(ctx, data, out):
+    """Read-write race: neighbour read with no barrier before it."""
+    data[ctx.tid] = ctx.tid
+    out[ctx.tid] = data[(ctx.tid + 1) % ctx.bdim]  # needed a yield first
+    yield
+
+
+def divergent_barrier(ctx):
+    """KL101 / barrier divergence: only thread 0 reaches the first yield."""
+    if ctx.tid == 0:
+        yield
+    yield
+
+
+def divergent_trip_count(ctx):
+    """KL101 via a loop: per-thread barrier counts differ."""
+    for _ in range(ctx.tid + 1):
+        yield
+
+
+def unaccounted_loop(ctx, data):
+    """KL103: the loop reads/writes memory but never charges ctx.work()."""
+    total = 0
+    for i in range(8):
+        total = total + int(data[(ctx.tid + i) % data.size])
+    data[ctx.tid] = total
+    yield
+
+
+def atomic_plain_mix(ctx, counter):
+    """Atomic and plain access to one address in the same phase."""
+    if ctx.tid == 0:
+        counter[0] = 99
+    else:
+        ctx.atomic_add(counter, 0, 1)
+    yield
+
+
+def missing_dtype_host():
+    """KL201: float64-by-default allocation in pipeline host code."""
+    return np.zeros(16)
+
+
+def narrowed_triplets(r):
+    """KL202: int32 narrowing on a triplet component."""
+    return np.asarray(r, dtype=np.int32)

@@ -1,0 +1,48 @@
+"""``gpumem analyze``: exit codes, formats, rule filters."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import repro
+from repro.cli import main
+
+from tests.analysis import planted_kernels
+
+PLANTED = planted_kernels.__file__
+PRIMITIVES = os.path.join(os.path.dirname(repro.__file__), "gpu", "primitives.py")
+
+
+def test_planted_bugs_fail_the_gate(capsys):
+    assert main(["analyze", PLANTED]) == 1
+    out = capsys.readouterr().out
+    for rule in ("KL101", "KL102", "KL201"):
+        assert rule in out
+
+
+def test_clean_kernels_pass_the_gate(capsys):
+    assert main(["analyze", PRIMITIVES]) == 0
+    assert "0 finding(s)" in capsys.readouterr().out
+
+
+def test_shipped_package_passes_the_gate(capsys):
+    """What CI runs (against the installed tree) must stay green."""
+    assert main(["analyze", os.path.dirname(repro.__file__)]) == 0
+
+
+def test_json_format(capsys):
+    assert main(["analyze", "--format", "json", PLANTED]) == 1
+    data = json.loads(capsys.readouterr().out)
+    assert data and {"rule", "path", "line", "message"} <= set(data[0])
+
+
+def test_select_filter(capsys):
+    assert main(["analyze", "--select", "KL201", PLANTED]) == 1
+    out = capsys.readouterr().out
+    assert "KL201" in out and "KL102" not in out
+
+
+def test_ignore_all_rules_passes(capsys):
+    rules = ",".join(("KL101", "KL102", "KL103", "KL201", "KL202"))
+    assert main(["analyze", "--ignore", rules, PLANTED]) == 0

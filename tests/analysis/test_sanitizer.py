@@ -1,0 +1,207 @@
+"""Runtime SIMT sanitizer: races and divergence caught, real kernels clean."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.sanitizer import Sanitizer, TrackedArray
+from repro.core.matcher import GpuMem
+from repro.core.params import GpuMemParams
+from repro.core.simulated import simulated_find_mems
+from repro.errors import BarrierDivergenceError, RaceConditionError
+from repro.gpu.device import TEST_DEVICE
+from repro.gpu.kernel import Device
+from repro.gpu.primitives import exclusive_prefix_sum_kernel
+from repro.types import mems_equal
+
+from tests.analysis import planted_kernels
+
+
+def make_device(san):
+    return Device(TEST_DEVICE, schedule_seed=1, sanitizer=san)
+
+
+class TestRaceDetection:
+    def test_write_write_race_with_provenance(self):
+        san = Sanitizer()
+        dev = make_device(san)
+        dev.launch(planted_kernels.racy_shared_write, 1, 4, np.zeros(4, np.int64))
+        assert len(san.findings) == 1
+        f = san.findings[0]
+        assert f.race == "write-write"
+        assert f.kernel == "racy_shared_write"
+        assert f.array == "out"  # named from the kernel signature
+        assert f.index == 0
+        assert f.block == 0 and f.phase == 0
+        assert len({t for t, _ in f.accesses}) >= 2
+        assert "write-write race on out[0]" in f.format()
+
+    def test_read_write_race(self):
+        san = Sanitizer()
+        dev = make_device(san)
+        dev.launch(
+            planted_kernels.racy_read_write, 1, 8,
+            np.zeros(8, np.int64), np.zeros(8, np.int64),
+        )
+        assert san.findings
+        assert {f.race for f in san.findings} == {"read-write"}
+
+    def test_barrier_fixes_the_read_write_race(self):
+        """The same access pattern with a barrier between phases is clean."""
+        san = Sanitizer()
+        dev = make_device(san)
+
+        def fixed(ctx, data, out):
+            data[ctx.tid] = ctx.tid
+            yield
+            out[ctx.tid] = data[(ctx.tid + 1) % ctx.bdim]
+            yield
+
+        out = np.zeros(8, dtype=np.int64)
+        dev.launch(fixed, 1, 8, np.zeros(8, np.int64), out)
+        assert san.findings == []
+        assert sorted(out.tolist()) == list(range(8))
+
+    def test_atomics_do_not_race_each_other(self):
+        san = Sanitizer()
+        dev = make_device(san)
+
+        def bump(ctx, c):
+            ctx.atomic_add(c, 0, 1)
+            yield
+
+        c = np.zeros(1, dtype=np.int64)
+        dev.launch(bump, 2, 8, c)
+        assert san.findings == []
+        assert c[0] == 16  # atomics still take effect through the proxy
+
+    def test_atomic_plain_mix_is_a_race(self):
+        san = Sanitizer()
+        dev = make_device(san)
+        dev.launch(planted_kernels.atomic_plain_mix, 1, 8, np.zeros(1, np.int64))
+        assert any(f.race == "atomic-plain" for f in san.findings)
+
+    def test_shared_memory_is_tracked(self):
+        san = Sanitizer()
+        dev = make_device(san)
+
+        def shared_racy(ctx):
+            buf = ctx.shared.array("buf", 4, np.int64)
+            buf[0] = ctx.tid
+            yield
+
+        dev.launch(shared_racy, 1, 8)
+        assert len(san.findings) == 1
+        assert san.findings[0].array == "shared:buf"
+
+    def test_raise_mode(self):
+        san = Sanitizer(mode="raise")
+        dev = make_device(san)
+        with pytest.raises(RaceConditionError) as exc:
+            dev.launch(planted_kernels.racy_shared_write, 1, 4, np.zeros(4, np.int64))
+        assert exc.value.findings
+        assert exc.value.findings[0].race == "write-write"
+
+    def test_per_block_isolation(self):
+        """Same addresses touched by different blocks never conflict."""
+        san = Sanitizer()
+        dev = make_device(san)
+
+        def per_block(ctx, out):
+            out[ctx.bid] = ctx.bid  # every thread of a block, same address...
+            yield
+
+        # ...is still a within-block race; but with one thread per block
+        # there is no conflict even though all 4 blocks write out[bid].
+        dev.launch(per_block, 4, 1, np.zeros(4, np.int64))
+        assert san.findings == []
+
+
+class TestDivergence:
+    def test_structured_error_fields(self):
+        san = Sanitizer()
+        dev = make_device(san)
+        with pytest.raises(BarrierDivergenceError) as exc:
+            dev.launch(planted_kernels.divergent_barrier, 1, 4)
+        err = exc.value
+        assert err.kernel == "divergent_barrier"
+        assert err.block == 0
+        assert err.phase == 1
+        assert err.exited == (1, 2, 3)
+        assert err.waiting == (0,)
+        assert san.divergences == [err]
+
+    def test_divergent_trip_count(self):
+        dev = Device(TEST_DEVICE, schedule_seed=1)
+        with pytest.raises(BarrierDivergenceError) as exc:
+            dev.launch(planted_kernels.divergent_trip_count, 1, 4)
+        assert exc.value.exited and exc.value.waiting
+
+
+class TestRealKernelsClean:
+    def test_blelloch_scan_sanitized(self, sanitized_device):
+        n = 16
+        data = np.arange(n, dtype=np.int64)
+        expect = np.concatenate(([0], np.cumsum(data[:-1])))
+        sanitized_device.launch(exclusive_prefix_sum_kernel, 1, n, data, n)
+        assert np.array_equal(data, expect)
+
+    def test_full_simulated_pipeline_sanitized(self):
+        """Algorithms 1-3 + expansion run race-free and match vectorized."""
+        rng = np.random.default_rng(7)
+        ref = rng.integers(0, 4, 1500).astype(np.uint8)
+        qry = ref.copy()
+        qry[::61] = (qry[::61] + 1) % 4
+        params = GpuMemParams(
+            min_length=20, seed_length=6, threads_per_block=32,
+            backend="simulated",
+        )
+        san = Sanitizer()
+        dev = make_device(san)
+        mems, _stats = simulated_find_mems(ref, qry, params, device=dev)
+        assert san.findings == [], san.format_findings()
+        assert san.divergences == []
+        assert san.n_accesses > 1000  # the sanitizer actually observed work
+
+        vec_params = GpuMemParams(min_length=20, seed_length=6, threads_per_block=32)
+        vec = GpuMem(vec_params).find_mems(ref, qry)
+        assert mems_equal(np.asarray(mems), vec.array)
+
+
+class TestTrackedArray:
+    def test_delegates_like_an_ndarray(self):
+        san = Sanitizer()
+        base = np.arange(6, dtype=np.int64)
+        arr = san.wrap(base, "x")
+        assert isinstance(arr, TrackedArray)
+        assert arr.size == 6 and arr.dtype == np.int64
+        assert len(arr) == 6
+        assert np.array_equal(np.asarray(arr), base)
+        assert san.wrap(arr, "x") is arr  # idempotent
+
+    def test_host_side_access_not_recorded(self):
+        san = Sanitizer()
+        arr = san.wrap(np.zeros(4, dtype=np.int64), "x")
+        arr[0] = 1  # no thread step active
+        assert san.n_accesses == 0
+        assert san.findings == []
+
+    def test_writes_reach_the_base_array(self):
+        san = Sanitizer()
+        dev = make_device(san)
+
+        def k(ctx, out):
+            out[ctx.tid] = ctx.tid + 10
+            yield
+
+        out = np.zeros(4, dtype=np.int64)
+        dev.launch(k, 1, 4, out)
+        assert out.tolist() == [10, 11, 12, 13]
+
+    def test_fixture_reports_races_at_teardown(self, simt_sanitizer):
+        """The collecting fixture exposes findings for explicit assertion."""
+        dev = make_device(simt_sanitizer)
+        dev.launch(planted_kernels.racy_shared_write, 1, 4, np.zeros(4, np.int64))
+        assert simt_sanitizer.findings
+        simt_sanitizer.findings.clear()  # consume: this test expected them

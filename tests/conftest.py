@@ -7,6 +7,10 @@ import pytest
 from hypothesis import settings as hyp_settings
 from hypothesis import strategies as st
 
+# Kernel tests can take the `sanitized_device` / `simt_sanitizer` fixtures to
+# run launches under the SIMT race detector (docs/analysis.md).
+pytest_plugins = ["repro.analysis.pytest_sanitizer"]
+
 # NumPy batch sizes make per-example wall time noisy; correctness, not
 # latency, is what these properties check.
 hyp_settings.register_profile("repro", deadline=None)

@@ -111,5 +111,5 @@ class TestBlockKernel:
         Q = np.zeros(16, dtype=np.uint8)
         p = self.params()
         in_block, out_block, _ = run_blocks(R, Q, p, r_lo=8, r_hi=16)
-        for r, q, l in in_block + out_block:
+        for r, _q, l in in_block + out_block:
             assert 8 <= r or r + l > 8  # fragments clipped to the row band

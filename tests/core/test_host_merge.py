@@ -3,8 +3,8 @@
 import numpy as np
 from hypothesis import given, settings, strategies as st
 
-from repro.core.host_merge import combine_diagonal, finalize_mems, host_merge
 from repro.core.combine import chain_merge_expected
+from repro.core.host_merge import combine_diagonal, finalize_mems, host_merge
 from repro.types import triplets_from_tuples
 
 

@@ -89,7 +89,7 @@ class TestWith:
 
     def test_immutable(self):
         p = GpuMemParams(min_length=50)
-        with pytest.raises(Exception):
+        with pytest.raises(AttributeError):  # dataclasses.FrozenInstanceError
             p.min_length = 10
 
     def test_describe_mentions_symbols(self):

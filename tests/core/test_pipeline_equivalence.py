@@ -153,7 +153,7 @@ class TestSessionCaching:
         queries = [rng.integers(0, 3, 120).astype(np.uint8) for _ in range(4)]
         session = MemSession(R, _params())
         batch = session.find_mems_batch(queries)
-        for q, got in zip(queries, batch):
+        for q, got in zip(queries, batch, strict=True):
             assert mems_equal(got.array, brute_force_mems(R, q, L))
 
     def test_warm_is_idempotent_and_cheap(self):

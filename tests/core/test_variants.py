@@ -41,7 +41,7 @@ class TestOccurrenceCounts:
         if len(mems) == 0:
             return
         in_ref, in_qry = occurrence_counts(mems, R, Q)
-        for i, (r, q, length) in enumerate(mems):
+        for i, (r, _q, length) in enumerate(mems):
             sub = R[r : r + length]
             assert in_ref[i] == naive_substring_count(R, sub)
             assert in_qry[i] == naive_substring_count(Q, sub)
@@ -53,7 +53,7 @@ class TestFindMums:
         R = np.array([0, 1, 2, 3, 3, 3, 2, 0, 3, 3, 2], dtype=np.uint8)
         Q = np.array([0, 1, 2, 3, 3, 2, 1], dtype=np.uint8)
         mums = find_mums(R, Q, min_length=3, seed_length=2)
-        for r, q, length in mums:
+        for r, _q, length in mums:
             sub = R[r : r + length]
             assert naive_substring_count(R, sub) == 1
             assert naive_substring_count(Q, sub) == 1
@@ -107,7 +107,7 @@ class TestFindRare:
             s = set(find_rare_mems(R, Q, 8, max_ref_occurrences=k,
                                    seed_length=4).as_tuples())
             sets.append(s)
-        for small, big in zip(sets, sets[1:]):
+        for small, big in zip(sets, sets[1:], strict=False):
             assert small <= big
 
     def test_large_k_equals_all_mems(self):

@@ -59,7 +59,7 @@ class TestTileCandidates:
         idx = build_kmer_index(R, seed_length=ls, step=step)
         qk = kmer_codes(Q, ls)
         r, q, counts = tile_candidates(qk, full_tile(60, 50), idx, 50, ls)
-        got = set(zip(r.tolist(), q.tolist()))
+        got = set(zip(r.tolist(), q.tolist(), strict=True))
         rk = kmer_codes(R, ls)
         expect = {
             (rr, qq)

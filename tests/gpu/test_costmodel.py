@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.gpu.costmodel import CostModel, GLOBAL_MEM_COST
+from repro.gpu.costmodel import GLOBAL_MEM_COST, CostModel
 from repro.gpu.device import TESLA_K20C, DeviceSpec
 
 

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.errors import KernelError
+from repro.errors import BarrierDivergenceError, KernelError
 from repro.gpu.costmodel import GLOBAL_MEM_COST
 from repro.gpu.device import TEST_DEVICE
 from repro.gpu.kernel import Device
@@ -112,6 +112,27 @@ class TestBarriers:
         with pytest.raises(KernelError):
             dev.launch(kernel, 1, 4)
 
+    def test_divergence_error_is_structured(self):
+        """Regression: divergence raises a typed error naming thread/block/
+        phase instead of desyncing or producing a free-text-only message."""
+        dev = make_device()
+
+        def kernel(ctx):
+            if ctx.tid < 2:
+                yield  # threads 2,3 skip the first barrier
+            yield
+
+        with pytest.raises(BarrierDivergenceError) as exc:
+            dev.launch(kernel, 1, 4, name="diverge")
+        err = exc.value
+        assert isinstance(err, KernelError)  # stays catchable as before
+        assert err.kernel == "diverge"
+        assert err.block == 0
+        assert err.phase == 1
+        assert err.exited == (2, 3)
+        assert err.waiting == (0, 1)
+        assert "barrier divergence" in str(err)
+
 
 class TestAtomics:
     def test_atomic_add_counts_all(self):
@@ -174,6 +195,30 @@ class TestAtomics:
 
         dev.launch(kernel, 1, 8, arr)
         assert arr[0] == 7
+
+
+class TestSanitizedMode:
+    """Kernel tests can opt into the SIMT race detector (docs/analysis.md)."""
+
+    def test_launch_results_unchanged_under_sanitizer(self, sanitized_device):
+        out = np.zeros(16, dtype=np.int64)
+
+        def kernel(ctx, out):
+            out[ctx.gtid] = ctx.gtid + 1
+            yield
+
+        sanitized_device.launch(kernel, 2, 8, out)
+        assert np.array_equal(out, np.arange(1, 17))
+
+    def test_atomics_unchanged_under_sanitizer(self, sanitized_device):
+        counter = np.zeros(1, dtype=np.int64)
+
+        def kernel(ctx, counter):
+            ctx.atomic_add(counter, 0, 1)
+            yield
+
+        sanitized_device.launch(kernel, 2, 8, counter)
+        assert counter[0] == 16
 
 
 class TestCostAccounting:

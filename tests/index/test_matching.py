@@ -93,7 +93,7 @@ class TestEnumerateCandidates:
         R, Q = pair
         s = SuffixArraySearcher(R, sparseness=K)
         r, q, lam = s.enumerate_candidates(Q, np.arange(Q.size), min_len)
-        got = set(zip(r.tolist(), q.tolist(), lam.tolist()))
+        got = set(zip(r.tolist(), q.tolist(), lam.tolist(), strict=True))
         assert got == naive_candidates(R, Q, K, min_len)
 
     def test_position_subset(self):
@@ -106,7 +106,7 @@ class TestEnumerateCandidates:
         assert set(q.tolist()) <= set(sub.tolist())
         full = naive_candidates(R, Q, 1, 3)
         expect = {(rr, qq, ll) for rr, qq, ll in full if qq in set(sub.tolist())}
-        assert set(zip(r.tolist(), q.tolist(), lam.tolist())) == expect
+        assert set(zip(r.tolist(), q.tolist(), lam.tolist(), strict=True)) == expect
 
     def test_empty_inputs(self):
         R = np.zeros(5, dtype=np.uint8)
@@ -125,5 +125,5 @@ class TestEnumerateCandidates:
         Q = np.zeros(10, dtype=np.uint8)
         s = SuffixArraySearcher(R)
         r, q, lam = s.enumerate_candidates(Q, np.arange(Q.size), 5)
-        got = set(zip(r.tolist(), q.tolist(), lam.tolist()))
+        got = set(zip(r.tolist(), q.tolist(), lam.tolist(), strict=True))
         assert got == naive_candidates(R, Q, 1, 5)

@@ -74,7 +74,7 @@ class TestSearcherRoundTrip:
         qpos = np.arange(Q.size)
         got = back.enumerate_candidates(Q, qpos, 5)
         expect = s.enumerate_candidates(Q, qpos, 5)
-        assert all(np.array_equal(g, e) for g, e in zip(got, expect))
+        assert all(np.array_equal(g, e) for g, e in zip(got, expect, strict=True))
 
     def test_corrupt_sa_detected(self, ref, tmp_path):
         s = SuffixArraySearcher(ref)

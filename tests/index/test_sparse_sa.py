@@ -36,7 +36,7 @@ class TestSparseSuffixArray:
         s = SparseSuffixArray(R, sparseness=K)
         thr = s.candidate_threshold(L)
         r_c, q_c, lam_c = s.enumerate_candidates(Q, np.arange(Q.size), thr)
-        anchors = set(zip(r_c.tolist(), q_c.tolist()))
+        anchors = set(zip(r_c.tolist(), q_c.tolist(), strict=True))
         from repro.core.reference import brute_force_mems
 
         for mem in brute_force_mems(R, Q, L):

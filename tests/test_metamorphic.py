@@ -34,7 +34,7 @@ class TestTranslationInvariance:
         shifted = {(r, q + pad_len, l) for r, q, l in before}
         assert shifted <= after
         # any extra matches must touch the pad boundary region
-        for r, q, l in after - shifted:
+        for _r, q, _l in after - shifted:
             assert q < pad_len + 1
 
     @settings(max_examples=20, deadline=None)
@@ -49,7 +49,7 @@ class TestTranslationInvariance:
         before = find(R, Q)
         after = find(np.concatenate([R, block]), Q)
         assert before <= after
-        for r, q, l in after - before:
+        for r, _q, l in after - before:
             # new matches can only arise where old ones were right-clipped
             assert r + l > R.size or r >= R.size - 4
 

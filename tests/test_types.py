@@ -4,8 +4,8 @@ import numpy as np
 import pytest
 
 from repro.types import (
-    MatchSet,
     TRIPLET_DTYPE,
+    MatchSet,
     concat_triplets,
     empty_triplets,
     make_triplets,
