@@ -6,13 +6,18 @@ Usage::
 
 ``--div`` is the extra prefix-slicing divisor on top of the library's 1:100
 dataset scale (default: the ``REPRO_BENCH_DIV`` env var or 10). Results are
-printed and written under ``bench_results/``.
+printed and written under ``bench_results/``: each target produces a
+human-readable ``<name>.txt`` table plus a machine-readable
+``BENCH_<name>.json`` record (timing, environment, git revision) so CI and
+regression tooling can diff runs without parsing tables.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
+import subprocess
 import sys
 import time
 from pathlib import Path
@@ -50,6 +55,36 @@ TARGETS = [
 ]
 
 
+def git_revision() -> str | None:
+    """The checked-out commit SHA, or ``None`` outside a git checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+            capture_output=True, text=True, timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    return out.stdout.strip() if out.returncode == 0 else None
+
+
+def write_bench_json(out_dir: Path, name: str, *, seconds: float,
+                     text: str, env: dict, rev: str | None,
+                     div: int | None) -> Path:
+    """Write the machine-readable ``BENCH_<name>.json`` telemetry record."""
+    record = {
+        "name": name,
+        "seconds": round(seconds, 6),
+        "div": div,
+        "git_revision": rev,
+        "environment": env,
+        "text": text,
+    }
+    path = out_dir / f"BENCH_{name}.json"
+    path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    return path
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--div", type=int, default=None,
@@ -67,6 +102,7 @@ def main(argv=None) -> int:
     env_text = "\n".join(f"{k}: {v}" for k, v in env.items()) + "\n"
     print(env_text)
     (out_dir / "environment.txt").write_text(env_text)
+    rev = git_revision()
     for name, fn in TARGETS:
         if args.only and name not in args.only:
             continue
@@ -76,6 +112,8 @@ def main(argv=None) -> int:
         print(text)
         print(f"[{name} regenerated in {took:.1f}s]\n")
         (out_dir / f"{name}.txt").write_text(text)
+        write_bench_json(out_dir, name, seconds=took, text=text,
+                         env=env, rev=rev, div=args.div)
     return 0
 
 

@@ -19,6 +19,8 @@ It provides:
   comparators: MUMmer-class full suffix array, sparseMEM, essaMEM, slaMEM.
 - :mod:`repro.bench` — the experiment harness regenerating every table and
   figure of the paper's evaluation section.
+- :mod:`repro.obs` — opt-in tracing/metrics: pass ``tracer=repro.Tracer()``
+  to any entry point and export a Chrome-trace (docs/observability.md).
 
 Quickstart::
 
@@ -54,6 +56,7 @@ from repro.errors import (
     InvalidSequenceError,
     MemoryBudgetError,
 )
+from repro.obs import MetricsRegistry, Tracer
 from repro.sequence import (
     decode,
     encode,
@@ -90,4 +93,6 @@ __all__ = [
     "find_rare_mems",
     "find_mems_both_strands",
     "StrandedMems",
+    "Tracer",
+    "MetricsRegistry",
 ]

@@ -4,7 +4,13 @@ Subcommands mirror how the paper's tools are driven:
 
 - ``gpumem match ref.fa query.fa -l 50``      — extract MEMs (MUMmer-style
   ``r q length`` lines, 1-based like the classic tools).
+- ``gpumem match ... --trace out.json``       — record a Chrome-trace of the
+  run (``--metrics`` dumps counters; see docs/observability.md).
 - ``gpumem index ref.fa -l 50``               — time/report the index build.
+- ``gpumem trace out.json``                   — validate/inspect a recorded
+  trace (span tree, hottest spans, metrics).
+- ``gpumem profile ref.fa query.fa -l 20``    — simulated-backend run with
+  the per-kernel device profile rollup.
 - ``gpumem dataset chr1m out.fa``             — write a Table II analogue.
 - ``gpumem bench --only table3``              — regenerate evaluation assets.
 - ``gpumem analyze src/repro``                — static SIMT lint (CI gate).
@@ -46,6 +52,33 @@ def _add_match_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--workers", type=int, default=None, metavar="N",
                    help="thread count (--executor threads) or band count "
                         "(--executor banded); default per executor")
+    p.add_argument("--trace", metavar="PATH", default=None,
+                   help="record a Chrome-trace JSON of the run "
+                        "(chrome://tracing / Perfetto; inspect with "
+                        "'gpumem trace PATH')")
+    p.add_argument("--metrics", action="store_true",
+                   help="print the run's metrics registry to stderr")
+
+
+def _make_cli_tracer(args):
+    """A real tracer when observability flags are set, else None."""
+    if getattr(args, "trace", None) or getattr(args, "metrics", False):
+        from repro.obs import Tracer
+
+        return Tracer()
+    return None
+
+
+def _emit_observability(args, tracer) -> None:
+    """Write/print what --trace/--metrics asked for after a traced run."""
+    if tracer is None:
+        return
+    if args.trace:
+        tracer.write_chrome_trace(args.trace, command=" ".join(sys.argv))
+        print(f"# trace: {len(tracer.spans)} spans -> {args.trace}",
+              file=sys.stderr)
+    if args.metrics:
+        print(tracer.metrics.format(), end="", file=sys.stderr)
 
 
 def cmd_match(args) -> int:
@@ -57,6 +90,7 @@ def cmd_match(args) -> int:
 
     reference = _read_single_fasta(args.reference, args.invalid)
     seed_length = min(args.seed_length, args.min_length)
+    tracer = _make_cli_tracer(args)
     common = dict(
         seed_length=seed_length, step=args.step, backend=args.backend,
         executor=args.executor, workers=args.workers,
@@ -69,7 +103,10 @@ def cmd_match(args) -> int:
 
         # One session for all records: the reference's row indexes are
         # built on the first record and reused for every later one.
-        session = MemSession(reference, _Params(min_length=args.min_length, **common))
+        session = MemSession(
+            reference, _Params(min_length=args.min_length, **common),
+            tracer=tracer,
+        )
         total = 0
         for rec in records:
             print(f"> {rec.header}")
@@ -82,6 +119,7 @@ def cmd_match(args) -> int:
             print(f"# records: {len(records)}  matches: {total}  "
                   f"index rows cached: {info['n_cached']}  "
                   f"cache hits: {info['hits']}", file=sys.stderr)
+        _emit_observability(args, tracer)
         return 0
 
     query = _read_single_fasta(args.query, args.invalid)
@@ -90,13 +128,13 @@ def cmd_match(args) -> int:
         max_occ = 1 if args.unique else args.rare
         result = find_rare_mems(
             reference, query, args.min_length,
-            max_ref_occurrences=max_occ, **common,
+            max_ref_occurrences=max_occ, tracer=tracer, **common,
         )
         stats = result.stats
         rows = [("+", r, q, l) for r, q, l in result]
     elif args.both_strands:
         stranded = find_mems_both_strands(
-            reference, query, args.min_length, **common
+            reference, query, args.min_length, tracer=tracer, **common
         )
         stats = stranded.forward.stats
         rows = [("+", r, q, l) for r, q, l in stranded.forward]
@@ -104,7 +142,7 @@ def cmd_match(args) -> int:
                  stranded.reverse_in_forward_coords()]
     else:
         params = GpuMemParams(min_length=args.min_length, **common)
-        matcher = GpuMem(params)
+        matcher = GpuMem(params, tracer=tracer)
         result = matcher.find_mems(reference, query)
         stats = matcher.stats
         rows = [("+", r, q, l) for r, q, l in result]
@@ -134,6 +172,7 @@ def cmd_match(args) -> int:
             if key in stats:
                 print(f"# {key}: {stats[key]:.4f}s", file=sys.stderr)
         print(f"# matches: {len(rows)}", file=sys.stderr)
+    _emit_observability(args, tracer)
     return 0
 
 
@@ -144,6 +183,7 @@ def cmd_index(args) -> int:
     from repro.core.params import GpuMemParams
 
     reference = _read_single_fasta(args.reference, args.invalid)
+    tracer = _make_cli_tracer(args)
     params = GpuMemParams(
         min_length=args.min_length,
         seed_length=min(args.seed_length, args.min_length),
@@ -151,7 +191,7 @@ def cmd_index(args) -> int:
         executor=args.executor,
         workers=args.workers,
     )
-    seconds = GpuMem(params).index_only(reference)
+    seconds = GpuMem(params, tracer=tracer).index_only(reference)
     print(f"index build: {seconds:.4f}s  ({params.describe()})")
     if args.save:
         from repro.index.kmer_index import build_kmer_index
@@ -166,6 +206,82 @@ def cmd_index(args) -> int:
             f"saved full-reference index ({index.n_locs:,} locations) to "
             f"{args.save} in {time.perf_counter() - t0:.3f}s"
         )
+    _emit_observability(args, tracer)
+    return 0
+
+
+def cmd_trace(args) -> int:
+    from repro.obs.export import (
+        format_event_tree,
+        load_chrome_trace,
+        top_spans,
+        validate_chrome_trace,
+    )
+
+    try:
+        doc = load_chrome_trace(args.trace_file)
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot load {args.trace_file}: {exc}", file=sys.stderr)
+        return 2
+    problems = validate_chrome_trace(doc)
+    events = [e for e in doc.get("traceEvents", []) if e.get("ph") == "X"]
+    print(f"{args.trace_file}: {len(events)} spans", end="")
+    meta = doc.get("metadata", {})
+    if meta.get("command"):
+        print(f"  (recorded by: {meta['command']})", end="")
+    print()
+    if problems:
+        print(f"\n{len(problems)} schema problem(s):")
+        for problem in problems:
+            print(f"  - {problem}")
+        return 1
+    print("schema: OK (valid Chrome trace, spans properly nested)")
+
+    if args.tree:
+        print()
+        print(format_event_tree(doc), end="")
+    else:
+        print("\nhottest spans (by total wall time):")
+        for name, count, total_ms in top_spans(doc, n=args.top):
+            print(f"  {name:<28}{count:>6}×{total_ms:>12.3f} ms")
+
+    metrics = doc.get("metrics") or {}
+    if metrics:
+        print(f"\nmetrics: {len(metrics)} series recorded "
+              "(see the 'metrics' block of the JSON)")
+        for series in sorted(metrics)[: args.top]:
+            entry = metrics[series]
+            if entry.get("type") == "histogram":
+                print(f"  {series}: count={entry['count']} sum={entry['sum']:.6g}")
+            else:
+                print(f"  {series}: {entry.get('value')}")
+    return 0
+
+
+def cmd_profile(args) -> int:
+    from repro.core.params import GpuMemParams
+    from repro.core.simulated import simulated_find_mems
+    from repro.gpu.kernel import Device
+    from repro.gpu.profiler import profile_device
+
+    reference = _read_single_fasta(args.reference, args.invalid)
+    query = _read_single_fasta(args.query, args.invalid)
+    tracer = _make_cli_tracer(args)
+    params = GpuMemParams(
+        min_length=args.min_length,
+        seed_length=min(args.seed_length, args.min_length),
+        step=args.step,
+        backend="simulated",
+    )
+    dev = Device()
+    mems, stats = simulated_find_mems(
+        reference, query, params, device=dev, tracer=tracer
+    )
+    print(profile_device(dev).format(), end="")
+    print(f"\nmatches: {int(mems.size)}  "
+          f"sim total: {stats['sim_total_seconds']:.6f}s  "
+          f"kernel launches: {stats['kernel_launches']}")
+    _emit_observability(args, tracer)
     return 0
 
 
@@ -256,6 +372,37 @@ def main(argv=None) -> int:
     p.add_argument("--save", metavar="PATH", default=None,
                    help="also save the full-reference locs/ptrs index (.npz)")
     p.set_defaults(fn=cmd_index)
+
+    p = sub.add_parser(
+        "trace",
+        help="validate and inspect a Chrome-trace JSON recorded by --trace",
+    )
+    p.add_argument("trace_file", help="trace JSON written by 'gpumem match --trace'")
+    p.add_argument("--tree", action="store_true",
+                   help="print the full nested span tree")
+    p.add_argument("--top", type=int, default=10, metavar="N",
+                   help="how many hottest spans / metric series to list")
+    p.set_defaults(fn=cmd_trace)
+
+    p = sub.add_parser(
+        "profile",
+        help="run the simulated backend and print the per-kernel device profile",
+    )
+    p.add_argument("reference", help="reference FASTA file")
+    p.add_argument("query", help="query FASTA file")
+    p.add_argument("-l", "--min-length", type=int, default=20,
+                   help="minimum MEM length L (default 20)")
+    p.add_argument("-s", "--seed-length", type=int, default=8,
+                   help="indexing seed length ℓs (default 8)")
+    p.add_argument("--step", type=int, default=None,
+                   help="indexing step Δs (default: the Eq. 1 maximum)")
+    p.add_argument("--invalid", choices=("error", "skip", "random"),
+                   default="random", help="non-ACGT letter policy")
+    p.add_argument("--trace", metavar="PATH", default=None,
+                   help="also record a Chrome-trace JSON of the profiled run")
+    p.add_argument("--metrics", action="store_true",
+                   help="print the run's metrics registry to stderr")
+    p.set_defaults(fn=cmd_profile)
 
     p = sub.add_parser("dataset", help="write a synthetic Table II dataset as FASTA")
     p.add_argument("name")

@@ -30,6 +30,7 @@ from typing import Callable, Sequence
 import numpy as np
 
 from repro.errors import InvalidParameterError
+from repro.obs.tracer import NULL_TRACER
 
 #: Names accepted by :func:`make_executor` (and ``GpuMemParams.executor``).
 EXECUTOR_NAMES = ("serial", "threads", "banded")
@@ -60,6 +61,10 @@ class RowExecutor:
     #: Registry name; also recorded into ``PipelineStats.executor``.
     name = "abstract"
 
+    #: Observability hook; the owning :class:`~repro.core.pipeline.Pipeline`
+    #: replaces this with its own tracer so executor spans join the run.
+    tracer = NULL_TRACER
+
     def map_rows(self, fn: Callable[[int], object], rows: Sequence[int]) -> list:
         raise NotImplementedError
 
@@ -76,7 +81,11 @@ class SerialExecutor(RowExecutor):
     name = "serial"
 
     def map_rows(self, fn, rows):
-        return [fn(row) for row in rows]
+        rows = list(rows)
+        with self.tracer.span(
+            "executor:serial", cat="executor", n_rows=len(rows)
+        ):
+            return [fn(row) for row in rows]
 
 
 class ThreadPoolRowExecutor(RowExecutor):
@@ -91,12 +100,18 @@ class ThreadPoolRowExecutor(RowExecutor):
 
     def map_rows(self, fn, rows):
         rows = list(rows)
-        if self.workers == 1 or len(rows) <= 1:
-            return [fn(row) for row in rows]
-        from concurrent.futures import ThreadPoolExecutor
+        with self.tracer.span(
+            "executor:threads", cat="executor",
+            n_rows=len(rows), workers=self.workers,
+        ):
+            if self.workers == 1 or len(rows) <= 1:
+                return [fn(row) for row in rows]
+            from concurrent.futures import ThreadPoolExecutor
 
-        with ThreadPoolExecutor(max_workers=min(self.workers, len(rows))) as pool:
-            return list(pool.map(fn, rows))
+            with ThreadPoolExecutor(
+                max_workers=min(self.workers, len(rows))
+            ) as pool:
+                return list(pool.map(fn, rows))
 
     def annotate(self, stats) -> None:
         stats["workers"] = self.workers
@@ -130,13 +145,18 @@ class BandedExecutor(RowExecutor):
         out = []
         for band_id, band in enumerate(bands):
             share = DeviceShare(device_id=band_id, rows=[rows[i] for i in band])
-            t0 = time.perf_counter()
-            for i in band:
-                result = fn(rows[i])
-                out.append(result)
-                share.n_in_tile += int(getattr(result, "n_in_tile", 0))
-                share.n_out_tile += int(getattr(result, "n_out_tile", 0))
-            share.seconds = time.perf_counter() - t0
+            with self.tracer.span(
+                "executor:band", cat="executor",
+                device_id=band_id, n_rows=len(band),
+            ) as sp:
+                t0 = time.perf_counter()
+                for i in band:
+                    result = fn(rows[i])
+                    out.append(result)
+                    share.n_in_tile += int(getattr(result, "n_in_tile", 0))
+                    share.n_out_tile += int(getattr(result, "n_out_tile", 0))
+                share.seconds = time.perf_counter() - t0
+                sp.set(seconds=share.seconds, n_in_tile=share.n_in_tile)
             self.shares.append(share)
         return out
 
@@ -146,6 +166,12 @@ class BandedExecutor(RowExecutor):
         stats["rows_per_device"] = [len(s.rows) for s in self.shares]
         stats["device_seconds"] = seconds
         stats["max_device_seconds"] = max(seconds, default=0.0)
+        metrics = self.tracer.metrics
+        if metrics.enabled:
+            for share in self.shares:
+                metrics.histogram(
+                    "executor.band_seconds", device=str(share.device_id)
+                ).observe(share.seconds)
 
     def __repr__(self) -> str:
         return f"BandedExecutor(n_bands={self.n_bands})"

@@ -16,6 +16,7 @@ import numpy as np
 from repro.core.pipeline import as_codes
 from repro.core.session import MemSession
 from repro.errors import InvalidParameterError
+from repro.obs.tracer import Tracer, get_tracer
 
 
 @dataclass(frozen=True)
@@ -52,20 +53,39 @@ class ReadMapper:
     tolerance:
         Diagonal bucket width — the largest cumulative indel shift
         tolerated within one locus.
+    tracer:
+        Optional :class:`repro.obs.Tracer`; records ``mapper.map_read``
+        spans and mapping counters on top of the session's own spans.
     """
 
     def __init__(self, reference, *, min_seed: int = 20, tolerance: int = 200,
-                 **matcher_kwargs):
+                 tracer: Tracer | None = None, **matcher_kwargs):
         if tolerance < 1:
             raise InvalidParameterError(f"tolerance must be >= 1, got {tolerance}")
         self.tolerance = int(tolerance)
+        self.tracer = get_tracer(tracer)
         # "Build once per reference" is literal now: the session caches the
         # per-row seed indexes, so every read after the first is match-only.
-        self.session = MemSession(reference, min_length=min_seed, **matcher_kwargs)
+        self.session = MemSession(
+            reference, min_length=min_seed, tracer=tracer, **matcher_kwargs
+        )
         self.reference = self.session.reference
 
     def map_read(self, read) -> ReadMapping:
         read = as_codes(read)
+        with self.tracer.span(
+            "mapper.map_read", cat="mapping", n_read=int(read.size)
+        ) as sp:
+            mapping = self._map_read(read)
+            sp.set(mapped=mapping.mapped, mapq=mapping.mapq)
+        metrics = self.tracer.metrics
+        if metrics.enabled:
+            metrics.counter(
+                "mapper.reads", outcome="mapped" if mapping.mapped else "unmapped"
+            ).inc()
+        return mapping
+
+    def _map_read(self, read) -> ReadMapping:
         mems = self.session.find_mems(read)
         if len(mems) == 0:
             return ReadMapping(locus=None, support=0, second_support=0, n_seeds=0)

@@ -20,6 +20,7 @@ from __future__ import annotations
 from repro.core.params import GpuMemParams
 from repro.core.pipeline import PipelineStats, as_codes
 from repro.core.session import MemSession
+from repro.obs.tracer import Tracer, get_tracer
 from repro.types import MatchSet
 
 #: Backwards-compatible alias — historical internal name, imported widely.
@@ -36,14 +37,18 @@ class GpuMem:
         GpuMem(GpuMemParams(min_length=50, seed_length=10))
         GpuMem(min_length=50, backend="simulated", load_balancing=False)
         GpuMem(min_length=50, executor="threads", workers=4)
+        GpuMem(min_length=50, tracer=Tracer())   # record spans + metrics
     """
 
-    def __init__(self, params: GpuMemParams | None = None, /, **kwargs):
+    def __init__(self, params: GpuMemParams | None = None, /, *,
+                 tracer: Tracer | None = None, **kwargs):
         if params is None:
             params = GpuMemParams(**kwargs)
         elif kwargs:
             params = params.with_(**kwargs)
         self.params = params
+        #: Observability sink shared with every session this matcher binds.
+        self.tracer = get_tracer(tracer)
         #: Stats of the most recent :meth:`find_mems` call. Always a
         #: well-shaped :class:`PipelineStats` (zeroed before the first call).
         self.stats: PipelineStats = PipelineStats(
@@ -60,7 +65,7 @@ class GpuMem:
         repeated queries against one reference, hold a
         :class:`~repro.core.session.MemSession` instead.
         """
-        session = MemSession(reference, self.params)
+        session = MemSession(reference, self.params, tracer=self.tracer)
         result = session.find_mems(query)
         self.stats = session.stats
         return result
@@ -72,7 +77,7 @@ class GpuMem:
         This is the quantity the paper's Table III reports for GPUMEM: index
         construction alone, without matching.
         """
-        return MemSession(reference, self.params).warm()
+        return MemSession(reference, self.params, tracer=self.tracer).warm()
 
 
 def find_mems(reference, query, min_length: int, **kwargs) -> MatchSet:

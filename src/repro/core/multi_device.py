@@ -26,6 +26,7 @@ from __future__ import annotations
 from repro.core.executors import BandedExecutor, DeviceShare, partition_rows
 from repro.core.params import GpuMemParams
 from repro.core.pipeline import Pipeline, as_codes
+from repro.obs.tracer import Tracer
 from repro.types import MatchSet
 
 __all__ = ["DeviceShare", "partition_rows", "find_mems_multi_device"]
@@ -37,16 +38,19 @@ def find_mems_multi_device(
     params: GpuMemParams,
     *,
     n_devices: int = 2,
+    tracer: Tracer | None = None,
 ) -> tuple[MatchSet, dict]:
     """Row-banded multi-device extraction.
 
     Returns ``(mems, stats)`` where stats include per-device seconds and
     the modeled parallel time (``max`` over devices + host merge).
+    ``tracer`` records one ``executor:band`` span per modeled device on top
+    of the standard pipeline spans.
     """
     reference = as_codes(reference)
     query = as_codes(query)
     executor = BandedExecutor(n_bands=n_devices)
-    pipeline = Pipeline(params, executor=executor)
+    pipeline = Pipeline(params, executor=executor, tracer=tracer)
     triplets, pstats = pipeline.run(reference, query)
 
     device_seconds = [share.seconds for share in executor.shares]

@@ -18,6 +18,12 @@ Rows are independent work units; *how* they run is delegated to a
 multi-device model). All per-run bookkeeping lives in the typed
 :class:`PipelineStats`, which also behaves as a read/write mapping so the
 historical ``stats["key"]`` consumers keep working unchanged.
+
+Observability: pass ``tracer=`` (a :class:`repro.obs.Tracer`) to record
+``stage:prep`` / ``stage:row_index`` / ``stage:tile_match`` /
+``stage:host_merge`` spans plus per-stage counters into
+``tracer.metrics`` (see ``docs/observability.md``). Without a tracer the
+instrumentation degrades to shared no-op objects.
 """
 
 from __future__ import annotations
@@ -34,6 +40,7 @@ from repro.core.params import GpuMemParams
 from repro.core.tiling import TilePlan
 from repro.core.vectorized import stage_tile
 from repro.index.kmer_index import KmerSeedIndex, build_kmer_index
+from repro.obs.tracer import Tracer, get_tracer
 from repro.sequence.alphabet import encode
 from repro.sequence.packed import PackedSequence, kmer_codes
 from repro.types import concat_triplets
@@ -77,6 +84,11 @@ class PipelineStats:
     max_index_locs: int = 0
     index_cache_hits: int = 0
     index_cache_misses: int = 0
+    #: Cumulative row-index cache effectiveness of the serving
+    #: :class:`~repro.core.session.MemSession` (across its whole lifetime,
+    #: unlike the per-run ``index_cache_*`` pair above).
+    session_cache_hits: int = 0
+    session_cache_misses: int = 0
     params: str = ""
     extra: dict = field(default_factory=dict)
 
@@ -219,10 +231,19 @@ class RowIndexStage:
 
 
 class TileMatchStage:
-    """Candidates → extension → in/out split for every tile of one row."""
+    """Candidates → extension → in/out split for every tile of one row.
 
-    def __init__(self, params: GpuMemParams):
+    With a real tracer attached, the stage also feeds the Algorithm-2
+    load-balance counters: every query seed position is one thread slot,
+    zero-hit slots are the idle threads ``T_idle``, and — when
+    ``params.load_balancing`` is on — idle slots of a tile that has at
+    least one active seed count as redistributed (the host-side view of
+    the paper's proactive balancing, aggregated per tile).
+    """
+
+    def __init__(self, params: GpuMemParams, *, tracer: Tracer | None = None):
         self.params = params
+        self.tracer = get_tracer(tracer)
 
     def run(
         self,
@@ -236,6 +257,8 @@ class TileMatchStage:
         in_parts: list[np.ndarray] = []
         out_parts: list[np.ndarray] = []
         n_candidates = 0
+        metrics = self.tracer.metrics
+        slots = active = idle = redistributed = 0
         for tile in plan.tiles_in_row(row):
             result = stage_tile(
                 reference, query, query_kmers, tile, index, self.params.min_length
@@ -245,6 +268,19 @@ class TileMatchStage:
                 in_parts.append(result.in_tile)
             if result.out_tile.size:
                 out_parts.append(result.out_tile)
+            if metrics.enabled:
+                n_slots = int(result.hit_counts.size)
+                n_active = int(result.n_query_seeds_with_hits)
+                slots += n_slots
+                active += n_active
+                idle += n_slots - n_active
+                if self.params.load_balancing and n_active:
+                    redistributed += n_slots - n_active
+        if metrics.enabled:
+            metrics.counter("load_balance.seed_slots").inc(slots)
+            metrics.counter("load_balance.active_seeds").inc(active)
+            metrics.counter("load_balance.idle_threads").inc(idle)
+            metrics.counter("load_balance.redistributed_threads").inc(redistributed)
         return concat_triplets(in_parts), concat_triplets(out_parts), n_candidates
 
 
@@ -286,12 +322,18 @@ class Pipeline:
         row_index: RowIndexStage | None = None,
         tile_match: TileMatchStage | None = None,
         merge: HostMergeStage | None = None,
+        tracer: Tracer | None = None,
     ):
         self.params = params
+        self.tracer = get_tracer(tracer)
         self.executor = executor if executor is not None else SerialExecutor()
+        # The executor and the tile stage carry the pipeline's tracer so
+        # band timings and load-balance counters land in the same run.
+        self.executor.tracer = self.tracer
         self.prep = prep or PrepStage(params.seed_length)
         self.row_index = row_index or RowIndexStage(params)
-        self.tile_match = tile_match or TileMatchStage(params)
+        self.tile_match = tile_match or TileMatchStage(params, tracer=self.tracer)
+        self.tile_match.tracer = self.tracer
         self.merge = merge or HostMergeStage(params)
 
     def plan_for(self, n_reference: int, n_query: int) -> TilePlan:
@@ -312,13 +354,18 @@ class Pipeline:
         cache=None,
     ) -> RowResult:
         """One independent work unit: index + match all tiles of ``row``."""
-        index, index_seconds, cache_hit = self.row_index.run(
-            reference, plan, row, cache=cache
-        )
+        tracer = self.tracer
+        with tracer.span("stage:row_index", cat="pipeline", row=row) as sp:
+            index, index_seconds, cache_hit = self.row_index.run(
+                reference, plan, row, cache=cache
+            )
+            sp.set(cache_hit=cache_hit, index_locs=index.n_locs)
         t0 = time.perf_counter()
-        in_tile, out_tile, n_candidates = self.tile_match.run(
-            reference, query, query_kmers, plan, row, index
-        )
+        with tracer.span("stage:tile_match", cat="pipeline", row=row) as sp:
+            in_tile, out_tile, n_candidates = self.tile_match.run(
+                reference, query, query_kmers, plan, row, index
+            )
+            sp.set(n_candidates=n_candidates, n_in_tile=int(in_tile.size))
         return RowResult(
             row=row,
             in_tile=in_tile,
@@ -346,23 +393,37 @@ class Pipeline:
         when the caller already holds the rolling codes.
         """
         run_t0 = time.perf_counter()
+        tracer = self.tracer
         plan = self.plan_for(reference.size, query.size)
+        with tracer.span(
+            "pipeline.run", cat="pipeline",
+            backend=self.params.backend, executor=self.executor.name,
+            n_rows=plan.n_rows, n_reference=int(reference.size),
+            n_query=int(query.size),
+        ) as run_span:
+            t0 = time.perf_counter()
+            with tracer.span("stage:prep", cat="pipeline") as sp:
+                if query_kmers is None:
+                    query_kmers = self.prep.run(query)
+                sp.set(n_kmers=int(query_kmers.size))
+            prep_time = time.perf_counter() - t0
 
-        t0 = time.perf_counter()
-        if query_kmers is None:
-            query_kmers = self.prep.run(query)
-        prep_time = time.perf_counter() - t0
+            def row_fn(row: int) -> RowResult:
+                return self.process_row(
+                    reference, query, query_kmers, plan, row, cache=index_cache
+                )
 
-        def row_fn(row: int) -> RowResult:
-            return self.process_row(
-                reference, query, query_kmers, plan, row, cache=index_cache
-            )
+            row_results = self.executor.map_rows(row_fn, range(plan.n_rows))
 
-        row_results = self.executor.map_rows(row_fn, range(plan.n_rows))
-
-        mems, crossing, out_tile, merge_seconds = self.merge.run(
-            reference, query, row_results
-        )
+            with tracer.span("stage:host_merge", cat="pipeline") as sp:
+                mems, crossing, out_tile, merge_seconds = self.merge.run(
+                    reference, query, row_results
+                )
+                sp.set(
+                    n_out_tile_fragments=int(out_tile.size),
+                    n_crossing_mems=int(crossing.size),
+                )
+            run_span.set(n_mems=int(mems.size))
 
         stats = PipelineStats(
             backend=self.params.backend,
@@ -386,7 +447,37 @@ class Pipeline:
             params=self.params.describe(),
         )
         self.executor.annotate(stats)
+        self._record_metrics(stats, n_mems=int(mems.size))
         return mems, stats
+
+    def _record_metrics(self, stats: PipelineStats, *, n_mems: int) -> None:
+        """Fold one run's stats into the tracer's metrics registry."""
+        metrics = self.tracer.metrics
+        if not metrics.enabled:
+            return
+        backend = self.params.backend
+        metrics.counter("pipeline.runs", backend=backend).inc()
+        metrics.counter("pipeline.mems", backend=backend).inc(n_mems)
+        metrics.counter("stage.candidates", stage="tile_match").inc(
+            stats.n_candidates
+        )
+        metrics.counter("stage.mems", stage="tile_match").inc(stats.n_in_tile)
+        metrics.counter("stage.fragments", stage="host_merge").inc(
+            stats.n_out_tile_fragments
+        )
+        metrics.counter("stage.mems", stage="host_merge").inc(
+            stats.n_crossing_mems
+        )
+        metrics.counter("index.cache.hits").inc(stats.index_cache_hits)
+        metrics.counter("index.cache.misses").inc(stats.index_cache_misses)
+        for stage, seconds in (
+            ("prep", stats.prep_time),
+            ("row_index", stats.index_time),
+            ("tile_match", stats.match_time),
+            ("host_merge", stats.host_merge_time),
+        ):
+            metrics.histogram("stage.seconds", stage=stage).observe(seconds)
+        metrics.histogram("pipeline.total_seconds").observe(stats.total_time)
 
     def build_row_indexes(self, reference: np.ndarray, cache=None) -> float:
         """Run only the row-index stage for every row; returns build seconds.
@@ -395,9 +486,19 @@ class Pipeline:
         matching) and the session's warm-up path.
         """
         plan = self.plan_for(reference.size, self.params.tile_size)
+        tracer = self.tracer
 
         def row_fn(row: int) -> float:
-            _, seconds, _ = self.row_index.run(reference, plan, row, cache=cache)
+            with tracer.span("stage:row_index", cat="pipeline", row=row) as sp:
+                _, seconds, cache_hit = self.row_index.run(
+                    reference, plan, row, cache=cache
+                )
+                sp.set(cache_hit=cache_hit)
             return seconds
 
-        return float(sum(self.executor.map_rows(row_fn, range(plan.n_rows))))
+        with tracer.span(
+            "pipeline.build_row_indexes", cat="pipeline", n_rows=plan.n_rows
+        ):
+            return float(
+                sum(self.executor.map_rows(row_fn, range(plan.n_rows)))
+            )

@@ -28,6 +28,7 @@ from repro.core.executors import RowExecutor, make_executor
 from repro.core.params import GpuMemParams
 from repro.core.pipeline import Pipeline, PipelineStats, as_codes
 from repro.index.kmer_index import KmerSeedIndex
+from repro.obs.tracer import Tracer, get_tracer
 from repro.types import MatchSet
 
 
@@ -53,6 +54,7 @@ class MemSession:
         /,
         *,
         executor: RowExecutor | str | None = None,
+        tracer: Tracer | None = None,
         **kwargs,
     ):
         if isinstance(executor, str):
@@ -65,10 +67,11 @@ class MemSession:
         elif kwargs:
             params = params.with_(**kwargs)
         self.params = params
+        self.tracer = get_tracer(tracer)
         self.reference = as_codes(reference)
         if executor is None:
             executor = make_executor(params.executor, params.workers)
-        self.pipeline = Pipeline(params, executor=executor)
+        self.pipeline = Pipeline(params, executor=executor, tracer=self.tracer)
         #: Stats of the most recent :meth:`find_mems` run.
         self.stats = PipelineStats(
             backend=params.backend,
@@ -118,7 +121,10 @@ class MemSession:
         On a fresh session this is exactly the paper's Table III quantity
         (index construction without matching); on a warm session it is ~0.
         """
-        return self.pipeline.build_row_indexes(self.reference, cache=self)
+        with self.tracer.span(
+            "session.warm", cat="session", n_rows=self.n_rows
+        ):
+            return self.pipeline.build_row_indexes(self.reference, cache=self)
 
     def drop_indexes(self) -> None:
         """Release all cached row indexes (memory pressure valve)."""
@@ -142,15 +148,41 @@ class MemSession:
         """All MEMs of ``query`` against the bound reference."""
         query = as_codes(query)
         self._n_queries += 1
-        if self.params.backend == "simulated":
-            from repro.core.simulated import simulated_find_mems
+        with self.tracer.span(
+            "session.find_mems", cat="session", n_query=int(query.size)
+        ):
+            if self.params.backend == "simulated":
+                from repro.core.simulated import simulated_find_mems
 
-            mems, stats = simulated_find_mems(self.reference, query, self.params)
-            self.stats = PipelineStats.from_dict(stats)
-            return MatchSet(mems, stats=self.stats)
-        mems, stats = self.pipeline.run(self.reference, query, index_cache=self)
-        self.stats = stats
-        return MatchSet(mems, stats=stats)
+                mems, stats = simulated_find_mems(
+                    self.reference, query, self.params, tracer=self.tracer
+                )
+                self.stats = PipelineStats.from_dict(stats)
+            else:
+                mems, self.stats = self.pipeline.run(
+                    self.reference, query, index_cache=self
+                )
+        self._publish_cache_stats(self.stats)
+        return MatchSet(mems, stats=self.stats)
+
+    def _publish_cache_stats(self, stats: PipelineStats) -> None:
+        """Surface the cumulative row-index cache counters (satellite: the
+        ``core/session.py`` LRU counters were invisible outside
+        ``cache_info()``) through PipelineStats and the metrics registry."""
+        with self._lock:
+            hits, misses = self._hits, self._misses
+        stats.session_cache_hits = hits
+        stats.session_cache_misses = misses
+        metrics = self.tracer.metrics
+        if metrics.enabled:
+            info = self.cache_info()
+            metrics.counter("session.cache.queries").inc()
+            metrics.gauge("session.cache.hits").set(hits)
+            metrics.gauge("session.cache.misses").set(misses)
+            metrics.gauge("session.cache.rows_cached").set(info["n_cached"])
+            metrics.gauge("session.cache.resident_bytes").set(
+                info["nbytes_packed"]
+            )
 
     def find_mems_batch(self, queries) -> list[MatchSet]:
         """Extract against many queries, reusing the cached indexes."""
@@ -171,6 +203,9 @@ SESSION_CACHE_SIZE = 8
 
 _session_cache: OrderedDict[tuple, MemSession] = OrderedDict()
 _session_cache_lock = threading.Lock()
+#: Cumulative process-wide LRU effectiveness (see :func:`session_cache_info`).
+_lru_hits = 0
+_lru_misses = 0
 
 
 def reference_fingerprint(codes: np.ndarray) -> str:
@@ -180,7 +215,8 @@ def reference_fingerprint(codes: np.ndarray) -> str:
 
 
 def get_session(
-    reference, params: GpuMemParams | None = None, /, **kwargs
+    reference, params: GpuMemParams | None = None, /, *,
+    tracer: Tracer | None = None, **kwargs
 ) -> MemSession:
     """A shared :class:`MemSession` for ``(reference, params)``.
 
@@ -188,7 +224,10 @@ def get_session(
     content hash and the (hashable, frozen) params, so repeated calls with
     the same sequence — e.g. ``mem_distance`` in both directions, or many
     ``find_rare_mems`` calls against one genome — reuse the same indexes.
+    ``tracer`` instruments a freshly built session (an LRU hit keeps the
+    session's original tracer) and records the LRU hit/miss either way.
     """
+    global _lru_hits, _lru_misses
     if params is None:
         params = GpuMemParams(**kwargs)
     elif kwargs:
@@ -199,8 +238,12 @@ def get_session(
         session = _session_cache.get(key)
         if session is not None:
             _session_cache.move_to_end(key)
+            _lru_hits += 1
+            get_tracer(tracer).metrics.counter("session.lru.hits").inc()
             return session
-    session = MemSession(codes, params)
+        _lru_misses += 1
+    get_tracer(tracer).metrics.counter("session.lru.misses").inc()
+    session = MemSession(codes, params, tracer=tracer)
     with _session_cache_lock:
         _session_cache[key] = session
         while len(_session_cache) > SESSION_CACHE_SIZE:
@@ -220,6 +263,8 @@ def session_cache_info() -> dict:
         return {
             "n_sessions": len(_session_cache),
             "capacity": SESSION_CACHE_SIZE,
+            "hits": _lru_hits,
+            "misses": _lru_misses,
         }
 
 

@@ -29,6 +29,7 @@ from repro.errors import BarrierDivergenceError, KernelError
 from repro.gpu.costmodel import CostModel
 from repro.gpu.device import TESLA_K20C, DeviceSpec
 from repro.gpu.memory import GlobalMemory, SharedMemory
+from repro.obs.tracer import Tracer, get_tracer
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a hard dependency
     from repro.analysis.sanitizer import Sanitizer
@@ -140,9 +141,13 @@ class Device:
         *,
         schedule_seed: int = 0,
         sanitizer: Sanitizer | None = None,
+        tracer: Tracer | None = None,
     ):
         self.spec = spec
-        self.memory = GlobalMemory(spec)
+        #: opt-in span/metrics recorder (see :mod:`repro.obs`); every kernel
+        #: launch and memory transfer is attributed through it.
+        self.tracer = get_tracer(tracer)
+        self.memory = GlobalMemory(spec, tracer=self.tracer)
         self.cost_model = CostModel(spec)
         self.reports: list[KernelReport] = []
         self._schedule_seed = int(schedule_seed)
@@ -179,9 +184,31 @@ class Device:
             raise KernelError(f"grid size must be >= 1, got {grid}")
         name = name or getattr(kernel, "__name__", "kernel")
         self._launch_counter += 1
+        with self.tracer.span(
+            f"kernel:{name}", cat="kernel", grid=grid, block=block
+        ) as span:
+            report = self._run_kernel(kernel, grid, block, args, name)
+        span.set(
+            sim_seconds=report.sim_seconds,
+            sim_cycles=report.sim_cycles,
+            imbalance=round(report.imbalance, 4),
+            n_phases=report.n_phases,
+        )
+        metrics = self.tracer.metrics
+        if metrics.enabled:
+            metrics.counter("kernel.launches", kernel=name).inc()
+            metrics.histogram("kernel.sim_seconds", kernel=name).observe(
+                report.sim_seconds
+            )
+        return report
+
+    def _run_kernel(self, kernel, grid: int, block: int, args: tuple,
+                    name: str) -> KernelReport:
+        """The launch body proper (spans/metrics handled by :meth:`launch`)."""
         rng = np.random.default_rng(self._schedule_seed + 7919 * self._launch_counter)
 
         san = self.sanitizer
+        findings_mark = len(san.findings) if san is not None else 0
         if san is not None:
             args = self._wrap_args(kernel, args, san)
 
@@ -256,6 +283,12 @@ class Device:
         )
         self.cost_model.time_kernel(report)
         self.reports.append(report)
+        if san is not None:
+            new_findings = len(san.findings) - findings_mark
+            if new_findings:
+                self.tracer.metrics.counter(
+                    "sanitizer.events", kernel=name
+                ).inc(new_findings)
         return report
 
     # -- accounting ---------------------------------------------------------------

@@ -14,15 +14,32 @@ import numpy as np
 
 from repro.errors import MemoryBudgetError
 from repro.gpu.device import DeviceSpec
+from repro.obs.tracer import Tracer, get_tracer
 
 
 class GlobalMemory:
-    """Allocation-tracked global memory of one simulated device."""
+    """Allocation-tracked global memory of one simulated device.
 
-    def __init__(self, spec: DeviceSpec):
+    With a tracer attached (the owning :class:`~repro.gpu.kernel.Device`
+    passes its own), every allocation / upload / free is recorded as a
+    ``cat="memory"`` span with byte counts, and the registry keeps a
+    ``memory.used_bytes`` gauge plus an allocation counter.
+    """
+
+    def __init__(self, spec: DeviceSpec, *, tracer: Tracer | None = None):
         self.spec = spec
+        self.tracer = get_tracer(tracer)
         self._allocs: dict[str, np.ndarray] = {}
         self.peak_bytes = 0
+
+    def _note(self, op: str, name: str, nbytes: int) -> None:
+        metrics = self.tracer.metrics
+        if metrics.enabled:
+            metrics.counter(f"memory.{op}s").inc()
+            if op == "alloc":
+                metrics.counter("memory.alloc_bytes").inc(nbytes)
+            metrics.gauge("memory.used_bytes").set(self.used_bytes)
+            metrics.gauge("memory.peak_bytes").set(self.peak_bytes)
 
     @property
     def used_bytes(self) -> int:
@@ -36,27 +53,41 @@ class GlobalMemory:
         """Allocate a named, zero-initialized array on the device."""
         if name in self._allocs:
             raise MemoryBudgetError(f"allocation {name!r} already exists")
-        arr = np.zeros(shape, dtype=dtype)
-        if arr.nbytes > self.free_bytes:
-            need = arr.nbytes
-            raise MemoryBudgetError(
-                f"device OOM allocating {name!r}: need {need} bytes, "
-                f"{self.free_bytes} free of {self.spec.global_mem_bytes}"
-            )
-        self._allocs[name] = arr
-        self.peak_bytes = max(self.peak_bytes, self.used_bytes)
+        with self.tracer.span("mem:alloc", cat="memory", allocation=name) as sp:
+            arr = np.zeros(shape, dtype=dtype)
+            if arr.nbytes > self.free_bytes:
+                need = arr.nbytes
+                raise MemoryBudgetError(
+                    f"device OOM allocating {name!r}: need {need} bytes, "
+                    f"{self.free_bytes} free of {self.spec.global_mem_bytes}"
+                )
+            self._allocs[name] = arr
+            self.peak_bytes = max(self.peak_bytes, self.used_bytes)
+            sp.set(nbytes=int(arr.nbytes))
+        self._note("alloc", name, int(arr.nbytes))
         return arr
 
     def upload(self, name: str, host_array: np.ndarray) -> np.ndarray:
         """Copy a host array onto the device (alloc + copy)."""
-        arr = self.alloc(name, host_array.shape, host_array.dtype)
-        arr[...] = host_array
+        with self.tracer.span(
+            "mem:upload", cat="memory",
+            allocation=name, nbytes=int(host_array.nbytes),
+        ):
+            arr = self.alloc(name, host_array.shape, host_array.dtype)
+            arr[...] = host_array
+        self._note("upload", name, int(host_array.nbytes))
         return arr
 
     def free(self, name: str) -> None:
         if name not in self._allocs:
             raise MemoryBudgetError(f"free of unknown allocation {name!r}")
+        nbytes = int(self._allocs[name].nbytes)
         del self._allocs[name]
+        with self.tracer.span(
+            "mem:free", cat="memory", allocation=name, nbytes=nbytes
+        ):
+            pass
+        self._note("free", name, nbytes)
 
     def free_all(self) -> None:
         self._allocs.clear()

@@ -1,0 +1,273 @@
+"""Exporters: Chrome-trace JSON, text span trees, metrics dumps.
+
+Three consumers, three formats:
+
+- :func:`to_chrome_trace` / :func:`write_chrome_trace` — the Trace Event
+  Format understood by ``chrome://tracing`` and Perfetto ("X" complete
+  events, microsecond timestamps, one lane per Python thread), with the
+  run's metrics embedded as a top-level ``"metrics"`` block;
+- :func:`format_span_tree` — a human-readable nested tree for terminals;
+- :func:`validate_chrome_trace` — schema checks used by the tests and the
+  CI trace-smoke step (also what ``gpumem trace`` runs before inspecting).
+
+:func:`load_chrome_trace` + :func:`format_event_tree` rebuild and render a
+tree from a trace *file*, so traces survive round-tripping through disk.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from pathlib import Path
+
+#: Trace Event Format phase codes we emit / accept.
+COMPLETE_PHASE = "X"
+METADATA_PHASE = "M"
+
+
+def _json_default(obj):
+    """Coerce numpy scalars & friends so attrs never break serialization."""
+    item = getattr(obj, "item", None)
+    if callable(item):
+        return item()
+    return str(obj)
+
+
+def chrome_trace_events(spans, *, pid: int = 0) -> list[dict]:
+    """Spans → Trace Event Format "X" (complete) events, start-ordered."""
+    events = []
+    lanes = set()
+    for span in spans:
+        if span.end is None:
+            continue
+        lanes.add(span.tid)
+        events.append(
+            {
+                "name": span.name,
+                "cat": span.cat,
+                "ph": COMPLETE_PHASE,
+                "ts": span.start * 1e6,  # Trace Event Format is microseconds
+                "dur": (span.end - span.start) * 1e6,
+                "pid": pid,
+                "tid": span.tid,
+                "args": dict(span.attrs),
+            }
+        )
+    events.sort(key=lambda e: (e["tid"], e["ts"]))
+    meta = [
+        {
+            "name": "process_name",
+            "ph": METADATA_PHASE,
+            "pid": pid,
+            "tid": 0,
+            "args": {"name": "gpumem"},
+        }
+    ]
+    for lane in sorted(lanes):
+        meta.append(
+            {
+                "name": "thread_name",
+                "ph": METADATA_PHASE,
+                "pid": pid,
+                "tid": lane,
+                "args": {"name": "main" if lane == 0 else f"worker-{lane}"},
+            }
+        )
+    return meta + events
+
+
+def to_chrome_trace(tracer, **metadata) -> dict:
+    """The full Chrome-trace document for one tracer's recorded run."""
+    doc = {
+        "traceEvents": chrome_trace_events(tracer.spans),
+        "displayTimeUnit": "ms",
+        "metadata": {"tool": "repro.obs", **metadata},
+        "metrics": tracer.metrics.to_dict(),
+    }
+    return doc
+
+
+def write_chrome_trace(tracer, path, **metadata) -> None:
+    """Serialize :func:`to_chrome_trace` to ``path`` (UTF-8 JSON)."""
+    doc = to_chrome_trace(tracer, **metadata)
+    Path(path).write_text(
+        json.dumps(doc, indent=1, default=_json_default), encoding="utf-8"
+    )
+
+
+def metrics_to_json(metrics) -> str:
+    """Flat JSON dump of a metrics registry."""
+    return json.dumps(metrics.to_dict(), indent=1, default=_json_default)
+
+
+# -- validation ---------------------------------------------------------------
+
+
+def validate_chrome_trace(doc) -> list[str]:
+    """Schema problems of a Chrome-trace document (empty list = valid).
+
+    Checks the containerized Trace Event Format contract: a
+    ``traceEvents`` list whose "X" events carry string names and
+    non-negative numeric ``ts``/``dur``, plus — our extension — that events
+    within one ``(pid, tid)`` lane nest properly (no partial overlap).
+    """
+    problems: list[str] = []
+    if not isinstance(doc, dict):
+        return [f"document must be a JSON object, got {type(doc).__name__}"]
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ["missing or non-list 'traceEvents'"]
+    lanes: dict[tuple, list[tuple[float, float, str]]] = {}
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            problems.append(f"event {i}: not an object")
+            continue
+        ph = ev.get("ph")
+        if ph not in (COMPLETE_PHASE, METADATA_PHASE):
+            problems.append(f"event {i}: unsupported phase {ph!r}")
+            continue
+        if not isinstance(ev.get("name"), str) or not ev["name"]:
+            problems.append(f"event {i}: missing string 'name'")
+        if ph != COMPLETE_PHASE:
+            continue
+        ts, dur = ev.get("ts"), ev.get("dur")
+        for field, value in (("ts", ts), ("dur", dur)):
+            if not isinstance(value, (int, float)) or value < 0:
+                problems.append(
+                    f"event {i} ({ev.get('name')}): bad {field!r}: {value!r}"
+                )
+                break
+        else:
+            lanes.setdefault((ev.get("pid", 0), ev.get("tid", 0)), []).append(
+                (float(ts), float(ts) + float(dur), str(ev.get("name")))
+            )
+    # Per-lane nesting: sorted by (start, -end), every event must lie fully
+    # inside the nearest enclosing open event or fully after it.
+    eps = 1e-6  # one picosecond of slack in µs units: clock quantization
+    for lane, spans in lanes.items():
+        spans.sort(key=lambda s: (s[0], -s[1]))
+        stack: list[tuple[float, float, str]] = []
+        for start, end, name in spans:
+            while stack and start >= stack[-1][1] - eps:
+                stack.pop()
+            if stack and end > stack[-1][1] + eps:
+                problems.append(
+                    f"lane {lane}: span {name!r} [{start:.3f}, {end:.3f}] "
+                    f"overlaps {stack[-1][2]!r} ending {stack[-1][1]:.3f}"
+                )
+            stack.append((start, end, name))
+    if "metrics" in doc and not isinstance(doc["metrics"], dict):
+        problems.append("'metrics' block must be an object")
+    return problems
+
+
+# -- text rendering -----------------------------------------------------------
+
+
+def _render_tree(out, label_rows) -> None:
+    """Shared renderer: rows of ``(depth, label)`` with tree glyphs."""
+    for depth, label in label_rows:
+        out.write("  " * depth + label + "\n")
+
+
+def format_span_tree(spans) -> str:
+    """Nested text tree of finished spans (in-memory tracer view)."""
+    finished = [s for s in spans if s.end is not None]
+    if not finished:
+        return "(no spans recorded)\n"
+    children: dict[int | None, list] = {}
+    for span in finished:
+        children.setdefault(span.parent_id, []).append(span)
+    for kids in children.values():
+        kids.sort(key=lambda s: s.start)
+    out = io.StringIO()
+
+    def walk(span, depth):
+        attrs = ""
+        if span.attrs:
+            inner = ", ".join(f"{k}={v}" for k, v in sorted(span.attrs.items()))
+            attrs = f"  [{inner}]"
+        out.write(
+            "  " * depth
+            + f"{span.name}  ({span.duration * 1e3:.3f} ms, cat={span.cat})"
+            + attrs + "\n"
+        )
+        for kid in children.get(span.span_id, []):
+            walk(kid, depth + 1)
+
+    for root in children.get(None, []):
+        walk(root, 0)
+    return out.getvalue()
+
+
+# -- file round-trip (gpumem trace) -------------------------------------------
+
+
+def load_chrome_trace(path) -> dict:
+    """Read a Chrome-trace JSON document from disk."""
+    return json.loads(Path(path).read_text(encoding="utf-8"))
+
+
+def _lane_forest(doc) -> dict[tuple, list]:
+    """Rebuild per-lane nesting forests from a trace document's X events."""
+    lanes: dict[tuple, list] = {}
+    for ev in doc.get("traceEvents", ()):
+        if ev.get("ph") != COMPLETE_PHASE:
+            continue
+        lanes.setdefault((ev.get("pid", 0), ev.get("tid", 0)), []).append(ev)
+    forest: dict[tuple, list] = {}
+    for lane, events in sorted(lanes.items()):
+        events.sort(key=lambda e: (e["ts"], -(e["ts"] + e["dur"])))
+        roots: list = []
+        stack: list = []  # (end_ts, node)
+        for ev in events:
+            node = {"event": ev, "children": []}
+            end = ev["ts"] + ev["dur"]
+            while stack and ev["ts"] >= stack[-1][0] - 1e-6:
+                stack.pop()
+            (stack[-1][1]["children"] if stack else roots).append(node)
+            stack.append((end, node))
+        forest[lane] = roots
+    return forest
+
+
+def format_event_tree(doc) -> str:
+    """Render a loaded trace file as the nested text tree."""
+    forest = _lane_forest(doc)
+    if not any(forest.values()):
+        return "(no complete events in trace)\n"
+    out = io.StringIO()
+
+    def walk(node, depth):
+        ev = node["event"]
+        args = ev.get("args") or {}
+        attrs = ""
+        if args:
+            inner = ", ".join(f"{k}={v}" for k, v in sorted(args.items()))
+            attrs = f"  [{inner}]"
+        out.write(
+            "  " * depth
+            + f"{ev['name']}  ({ev['dur'] / 1e3:.3f} ms, cat={ev.get('cat', '?')})"
+            + attrs + "\n"
+        )
+        for kid in node["children"]:
+            walk(kid, depth + 1)
+
+    for (pid, tid), roots in forest.items():
+        out.write(f"-- lane pid={pid} tid={tid} --\n")
+        for root in roots:
+            walk(root, 0)
+    return out.getvalue()
+
+
+def top_spans(doc, n: int = 10) -> list[tuple[str, int, float]]:
+    """Hottest span names of a trace file: ``(name, count, total_ms)``."""
+    totals: dict[str, list] = {}
+    for ev in doc.get("traceEvents", ()):
+        if ev.get("ph") != COMPLETE_PHASE:
+            continue
+        slot = totals.setdefault(ev["name"], [0, 0.0])
+        slot[0] += 1
+        slot[1] += ev["dur"] / 1e3
+    ranked = sorted(totals.items(), key=lambda kv: -kv[1][1])
+    return [(name, count, ms) for name, (count, ms) in ranked[:n]]

@@ -1,0 +1,250 @@
+"""Metrics: labeled counters, gauges, and histograms.
+
+The registry is the quantitative half of :mod:`repro.obs` (spans are the
+temporal half). Instruments are created on first use and keyed by
+``(name, labels)``, Prometheus-style, so the same code path can record one
+series per stage / kernel / executor without pre-declaring anything::
+
+    metrics = MetricsRegistry()
+    metrics.counter("pipeline.candidates").inc(n)
+    metrics.histogram("stage.seconds", stage="tile_match").observe(dt)
+    print(metrics.format())
+
+Everything is thread-safe (per-instrument locks; instrument creation under
+a registry lock). :class:`NullMetricsRegistry` is the disabled counterpart
+wired into :data:`repro.obs.tracer.NULL_TRACER` — every operation is a
+no-op so uninstrumented runs pay nothing.
+"""
+
+from __future__ import annotations
+
+import io
+import threading
+from typing import Iterable
+
+#: Default histogram bucket upper bounds (seconds-flavoured exponential
+#: ladder; also serviceable for counts). ``inf`` is implicit.
+DEFAULT_BUCKETS = (
+    1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0, 100.0,
+)
+
+
+def _label_key(labels: dict) -> tuple:
+    return tuple(sorted(labels.items()))
+
+
+def series_name(name: str, labels: dict) -> str:
+    """Canonical flat name: ``name{k=v,...}`` (bare ``name`` if unlabeled)."""
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+    return f"{name}{{{inner}}}"
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("name", "labels", "value", "_lock")
+
+    def __init__(self, name: str, labels: dict):
+        self.name = name
+        self.labels = labels
+        self.value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, n: int | float = 1) -> None:
+        with self._lock:
+            self.value += n
+
+    def to_dict(self) -> dict:
+        return {"type": "counter", "value": self.value}
+
+
+class Gauge:
+    """Last-written value (e.g. resident bytes, cache occupancy)."""
+
+    __slots__ = ("name", "labels", "value", "_lock")
+
+    def __init__(self, name: str, labels: dict):
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self.value = value
+
+    def add(self, delta: float) -> None:
+        with self._lock:
+            self.value += delta
+
+    def to_dict(self) -> dict:
+        return {"type": "gauge", "value": self.value}
+
+
+class Histogram:
+    """Distribution summary: count/sum/min/max plus cumulative buckets."""
+
+    __slots__ = ("name", "labels", "buckets", "bucket_counts", "count",
+                 "sum", "min", "max", "_lock")
+
+    def __init__(self, name: str, labels: dict,
+                 buckets: Iterable[float] = DEFAULT_BUCKETS):
+        self.name = name
+        self.labels = labels
+        self.buckets = tuple(sorted(buckets))
+        self.bucket_counts = [0] * (len(self.buckets) + 1)  # +1 = +inf
+        self.count = 0
+        self.sum = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        with self._lock:
+            self.count += 1
+            self.sum += value
+            self.min = min(self.min, value)
+            self.max = max(self.max, value)
+            for i, bound in enumerate(self.buckets):
+                if value <= bound:
+                    self.bucket_counts[i] += 1
+                    break
+            else:
+                self.bucket_counts[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "type": "histogram",
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+            "mean": self.mean,
+            "buckets": {
+                **{str(b): c for b, c in
+                   zip(self.buckets, self.bucket_counts[:-1], strict=True)},
+                "+inf": self.bucket_counts[-1],
+            },
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create home of every instrument, keyed by name + labels."""
+
+    #: Real registries record; the null registry reports False so hot paths
+    #: can skip derivation work (not just the final ``inc`` call).
+    enabled = True
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._instruments: dict[tuple, object] = {}
+
+    def _get(self, cls, name: str, labels: dict, **kwargs):
+        key = (cls.__name__, name, _label_key(labels))
+        inst = self._instruments.get(key)
+        if inst is None:
+            with self._lock:
+                inst = self._instruments.get(key)
+                if inst is None:
+                    inst = cls(name, labels, **kwargs)
+                    self._instruments[key] = inst
+        return inst
+
+    def counter(self, name: str, **labels) -> Counter:
+        """Get-or-create the :class:`Counter` for ``name`` + labels."""
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        """Get-or-create the :class:`Gauge` for ``name`` + labels."""
+        return self._get(Gauge, name, labels)
+
+    def histogram(self, name: str, *, buckets=DEFAULT_BUCKETS, **labels) -> Histogram:
+        """Get-or-create the :class:`Histogram` for ``name`` + labels."""
+        return self._get(Histogram, name, labels, buckets=buckets)
+
+    # -- export ----------------------------------------------------------------
+    def instruments(self) -> list:
+        """Every recorded instrument, sorted by (name, labels)."""
+        with self._lock:
+            return sorted(
+                self._instruments.values(),
+                key=lambda m: (m.name, _label_key(m.labels)),
+            )
+
+    def to_dict(self) -> dict:
+        """Flat ``{series_name: instrument_dict}`` dump (JSON-ready)."""
+        return {
+            series_name(m.name, m.labels): m.to_dict() for m in self.instruments()
+        }
+
+    def format(self) -> str:
+        """Human-readable one-line-per-series dump."""
+        out = io.StringIO()
+        out.write("== metrics ==\n")
+        for m in self.instruments():
+            name = series_name(m.name, m.labels)
+            if isinstance(m, Histogram):
+                out.write(
+                    f"{name:<52} count={m.count} sum={m.sum:.6g} "
+                    f"mean={m.mean:.6g}\n"
+                )
+            else:
+                value = m.value
+                shown = f"{value:.6g}" if isinstance(value, float) else str(value)
+                out.write(f"{name:<52} {shown}\n")
+        return out.getvalue()
+
+    def clear(self) -> None:
+        """Drop every instrument (a fresh run's registry)."""
+        with self._lock:
+            self._instruments.clear()
+
+
+class _NullInstrument:
+    """Counter/gauge/histogram lookalike where every write is a no-op."""
+
+    __slots__ = ()
+
+    def inc(self, n=1) -> None:
+        pass
+
+    def set(self, value) -> None:
+        pass
+
+    def add(self, delta) -> None:
+        pass
+
+    def observe(self, value) -> None:
+        pass
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullMetricsRegistry(MetricsRegistry):
+    """Disabled registry: hands out shared no-op instruments."""
+
+    enabled = False
+
+    def __init__(self):
+        super().__init__()
+
+    def counter(self, name: str, **labels):
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name: str, **labels):
+        return _NULL_INSTRUMENT
+
+    def histogram(self, name: str, *, buckets=DEFAULT_BUCKETS, **labels):
+        return _NULL_INSTRUMENT
+
+
+#: Shared disabled registry (used by the null tracer).
+NULL_METRICS = NullMetricsRegistry()

@@ -1,0 +1,119 @@
+"""MetricsRegistry unit tests: instruments, labels, export, null path."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+from repro.obs import (
+    NULL_METRICS,
+    MetricsRegistry,
+    metrics_to_json,
+    series_name,
+)
+
+
+class TestInstruments:
+    def test_counter_get_or_create(self):
+        m = MetricsRegistry()
+        m.counter("hits").inc()
+        m.counter("hits").inc(2)
+        assert m.counter("hits").value == 3
+
+    def test_labels_separate_series(self):
+        m = MetricsRegistry()
+        m.counter("launches", kernel="a").inc()
+        m.counter("launches", kernel="b").inc(5)
+        assert m.counter("launches", kernel="a").value == 1
+        assert m.counter("launches", kernel="b").value == 5
+
+    def test_label_order_irrelevant(self):
+        m = MetricsRegistry()
+        m.counter("c", x="1", y="2").inc()
+        assert m.counter("c", y="2", x="1").value == 1
+
+    def test_gauge_set_add(self):
+        m = MetricsRegistry()
+        g = m.gauge("bytes")
+        g.set(100)
+        g.add(-25)
+        assert m.gauge("bytes").value == 75
+
+    def test_histogram_summary_and_buckets(self):
+        m = MetricsRegistry()
+        h = m.histogram("seconds")
+        for v in (0.5e-6, 0.05, 2.0):
+            h.observe(v)
+        d = h.to_dict()
+        assert d["count"] == 3
+        assert d["min"] == 0.5e-6
+        assert d["max"] == 2.0
+        assert abs(d["sum"] - 2.0500005) < 1e-9
+        assert d["buckets"]["1e-06"] == 1
+        assert d["buckets"]["0.1"] == 1
+        assert d["buckets"]["10.0"] == 1
+        assert d["buckets"]["+inf"] == 0
+
+    def test_series_name(self):
+        assert series_name("c", {}) == "c"
+        assert series_name("c", {"b": 1, "a": 2}) == "c{a=2,b=1}"
+
+    def test_thread_safety(self):
+        m = MetricsRegistry()
+
+        def work():
+            for _ in range(1000):
+                m.counter("n").inc()
+
+        threads = [threading.Thread(target=work) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert m.counter("n").value == 4000
+
+
+class TestExport:
+    def test_to_dict_flat_keys(self):
+        m = MetricsRegistry()
+        m.counter("runs", backend="vectorized").inc()
+        m.gauge("resident").set(10)
+        m.histogram("dt", stage="prep").observe(0.5)
+        d = m.to_dict()
+        assert d["runs{backend=vectorized}"] == {"type": "counter", "value": 1}
+        assert d["resident"]["type"] == "gauge"
+        assert d["dt{stage=prep}"]["count"] == 1
+
+    def test_format_lists_every_series(self):
+        m = MetricsRegistry()
+        m.counter("a").inc()
+        m.histogram("b").observe(1)
+        text = m.format()
+        assert "== metrics ==" in text
+        assert "a" in text and "count=1" in text
+
+    def test_metrics_to_json_roundtrips(self):
+        m = MetricsRegistry()
+        m.counter("c").inc(3)
+        assert json.loads(metrics_to_json(m))["c"]["value"] == 3
+
+    def test_clear(self):
+        m = MetricsRegistry()
+        m.counter("c").inc()
+        m.clear()
+        assert m.to_dict() == {}
+
+
+class TestNullRegistry:
+    def test_disabled_flag(self):
+        assert MetricsRegistry().enabled
+        assert not NULL_METRICS.enabled
+
+    def test_all_writes_noop_and_shared(self):
+        c = NULL_METRICS.counter("c", k="v")
+        assert c is NULL_METRICS.histogram("h")
+        c.inc()
+        c.set(1)
+        c.add(1)
+        c.observe(1)
+        assert NULL_METRICS.to_dict() == {}

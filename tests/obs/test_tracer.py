@@ -1,0 +1,153 @@
+"""Tracer unit tests: nesting, threads, decorator, null path."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.obs import NULL_TRACER, NullTracer, Tracer, get_tracer
+
+
+class TestSpans:
+    def test_parent_child_nesting(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                pass
+        assert inner.parent_id == outer.span_id
+        assert outer.parent_id is None
+        assert outer.start <= inner.start
+        assert inner.end <= outer.end
+
+    def test_siblings_share_parent(self):
+        tracer = Tracer()
+        with tracer.span("root") as root:
+            with tracer.span("a") as a:
+                pass
+            with tracer.span("b") as b:
+                pass
+        assert a.parent_id == root.span_id
+        assert b.parent_id == root.span_id
+        assert a.end <= b.start
+
+    def test_attrs_at_open_and_set(self):
+        tracer = Tracer()
+        with tracer.span("s", cat="test", row=3) as sp:
+            sp.set(n_mems=7)
+        (got,) = tracer.find("s")
+        assert got.attrs == {"row": 3, "n_mems": 7}
+        assert got.cat == "test"
+
+    def test_exception_records_error_and_closes(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("boom"):
+                raise ValueError("x")
+        (sp,) = tracer.find("boom")
+        assert sp.attrs["error"] == "ValueError"
+        assert sp.end is not None
+        # the stack recovered: a new root span is really a root
+        with tracer.span("after") as after:
+            pass
+        assert after.parent_id is None
+
+    def test_duration_nonnegative(self):
+        tracer = Tracer()
+        with tracer.span("t"):
+            pass
+        (sp,) = tracer.find("t")
+        assert sp.duration >= 0.0
+
+    def test_wrap_decorator(self):
+        tracer = Tracer()
+
+        @tracer.wrap("helper", cat="func")
+        def helper(x):
+            return x + 1
+
+        assert helper(1) == 2
+        (sp,) = tracer.find("helper")
+        assert sp.cat == "func"
+
+    def test_clear_and_find(self):
+        tracer = Tracer()
+        with tracer.span("x"):
+            pass
+        assert len(tracer.find("x")) == 1
+        tracer.clear()
+        assert tracer.spans == []
+
+
+class TestThreads:
+    def test_worker_threads_get_own_lanes(self):
+        tracer = Tracer()
+        barrier = threading.Barrier(3)
+
+        def work(i):
+            barrier.wait()
+            with tracer.span(f"worker-{i}"):
+                with tracer.span("child"):
+                    pass
+
+        threads = [threading.Thread(target=work, args=(i,)) for i in range(3)]
+        with tracer.span("main"):
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        lanes = {s.tid for s in tracer.spans if s.name.startswith("worker")}
+        assert len(lanes) == 3
+        # children nest under their own thread's worker span, not "main"
+        for child in tracer.find("child"):
+            parent = next(
+                s for s in tracer.spans if s.span_id == child.parent_id
+            )
+            assert parent.name.startswith("worker-")
+            assert parent.tid == child.tid
+
+    def test_span_ids_unique_across_threads(self):
+        tracer = Tracer()
+
+        def work():
+            for _ in range(50):
+                with tracer.span("s"):
+                    pass
+
+        threads = [threading.Thread(target=work) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        ids = [s.span_id for s in tracer.spans]
+        assert len(ids) == len(set(ids)) == 200
+
+
+class TestNullTracer:
+    def test_get_tracer_normalizes(self):
+        assert get_tracer(None) is NULL_TRACER
+        tracer = Tracer()
+        assert get_tracer(tracer) is tracer
+
+    def test_null_span_is_shared_noop(self):
+        a = NULL_TRACER.span("x", cat="y", k=1)
+        b = NULL_TRACER.span("z")
+        assert a is b
+        with a as sp:
+            assert sp.set(n=1) is sp
+        assert NULL_TRACER.spans == []
+        assert NULL_TRACER.find("x") == []
+
+    def test_null_metrics_attached(self):
+        assert not NULL_TRACER.enabled
+        assert not NULL_TRACER.metrics.enabled
+        # writes are all no-ops
+        NULL_TRACER.metrics.counter("c", k="v").inc()
+        NULL_TRACER.metrics.histogram("h").observe(1.0)
+        assert NULL_TRACER.metrics.to_dict() == {}
+
+    def test_null_wrap_returns_function_unchanged(self):
+        def fn():
+            return 42
+
+        assert NullTracer().wrap("n")(fn) is fn
