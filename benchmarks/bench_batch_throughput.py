@@ -1,0 +1,170 @@
+"""Batched throughput: serial find_mems loop vs BatchRunner worker sweep.
+
+The batched engine's claim is queries/sec: a warm
+:class:`repro.core.session.MemSession` serves every query at match-only
+cost, and :class:`repro.core.batch.BatchRunner` overlaps those match
+stages across a query-level thread pool (the hot kernels release the
+GIL). This benchmark times one read-mapping-shaped workload — N mutated
+reads against one fixed reference — as a serial loop and through the
+runner at 1/2/4 workers, reporting queries/sec and the speedup at each
+width (the PR-4 acceptance point is ≥ 2x at 4 workers on the vectorized
+backend, on hardware with ≥ 4 cores; the recorded ``cpu_count`` keeps
+single-core CI runs interpretable).
+
+Outputs are cross-checked identical between the serial loop and every
+batched run before any timing is accepted. Standalone runs also write
+``bench_results/BENCH_batch_throughput.json`` (the same record
+``benchmarks/run_all.py`` produces for CI diffing).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.bench.reporting import series_csv
+from repro.core.batch import BatchRunner
+from repro.core.params import GpuMemParams
+from repro.core.session import MemSession
+from repro.sequence.synthetic import markov_dna, plant_repeats
+
+#: Reference size (bases) and per-query size for the workload.
+REFERENCE_BASES = 300_000
+QUERY_BASES = 2_000
+
+#: Queries per batch and the worker widths swept (4 is the acceptance point).
+N_QUERIES = 32
+WORKER_SWEEP = (1, 2, 4)
+
+
+def _workload(rng_seed: int = 43):
+    reference = plant_repeats(
+        markov_dna(REFERENCE_BASES, seed=rng_seed),
+        seed=rng_seed + 1,
+        n_families=4,
+        family_length=(60, 200),
+        copies_per_family=(10, 40),
+        copy_divergence=0.03,
+    )
+    rng = np.random.default_rng(rng_seed + 2)
+    queries = []
+    for _ in range(N_QUERIES):
+        at = int(rng.integers(0, reference.size - QUERY_BASES))
+        read = reference[at : at + QUERY_BASES].copy()
+        flips = rng.integers(0, read.size, read.size // 100)
+        read[flips] = (read[flips] + rng.integers(1, 4, flips.size)) % 4
+        queries.append(read)
+    return reference, queries
+
+
+def run_batch_throughput_experiment(reference, queries, params) -> dict:
+    """Time the serial loop and the worker sweep; cross-check outputs."""
+    session = MemSession(reference, params)
+    session.warm()  # both paths measured at match-only cost
+    t0 = time.perf_counter()
+    serial = [session.find_mems(q).as_tuples() for q in queries]
+    serial_seconds = time.perf_counter() - t0
+
+    sweep = []
+    for workers in WORKER_SWEEP:
+        runner = BatchRunner(session, workers=workers)
+        t0 = time.perf_counter()
+        results = list(runner.run(queries))
+        seconds = time.perf_counter() - t0
+        batched = [r.value.as_tuples() for r in results]
+        if batched != serial:  # timing is meaningless on wrong output
+            raise AssertionError(
+                f"batched output diverged from serial at workers={workers}"
+            )
+        sweep.append({
+            "workers": workers,
+            "seconds": seconds,
+            "qps": len(queries) / seconds,
+            "speedup": serial_seconds / seconds,
+        })
+    return {
+        "serial_seconds": serial_seconds,
+        "serial_qps": len(queries) / serial_seconds,
+        "n_queries": len(queries),
+        "n_mems": sum(len(m) for m in serial),
+        "cpu_count": os.cpu_count(),
+        "sweep": sweep,
+    }
+
+
+def generate_series(div: int | None = None) -> str:
+    reference, queries = _workload()
+    params = GpuMemParams(min_length=40, seed_length=10)
+    out = run_batch_throughput_experiment(reference, queries, params)
+    rows = [
+        (
+            entry["workers"],
+            round(entry["seconds"], 4),
+            round(entry["qps"], 2),
+            round(entry["speedup"], 2),
+        )
+        for entry in out["sweep"]
+    ]
+    lines = [
+        "== Batch throughput: serial find_mems loop vs BatchRunner "
+        f"(|R|={reference.size:,}, |Q|={QUERY_BASES:,}, "
+        f"N={out['n_queries']}, L=40, cpus={out['cpu_count']}) =="
+    ]
+    lines.append(
+        f"serial loop: {out['serial_seconds']:.4f}s "
+        f"({out['serial_qps']:.2f} q/s, {out['n_mems']} MEMs)"
+    )
+    lines.append(
+        series_csv(["batch_workers", "seconds", "qps", "speedup_vs_serial"], rows)
+    )
+    at4 = out["sweep"][-1]["speedup"]
+    lines.append(
+        f"# speedup at 4 workers: {at4:.2f}x "
+        "(acceptance bar: >= 2x on >= 4 cores; thread overlap needs real "
+        "cores, so single-core runs report ~1x)"
+    )
+    return "\n".join(lines) + "\n"
+
+
+def bench_batch_throughput_4(benchmark):
+    reference, queries = _workload()
+    params = GpuMemParams(min_length=40, seed_length=10)
+    session = MemSession(reference, params)
+    session.warm()
+    runner = BatchRunner(session, workers=4)
+
+    def run():
+        return list(runner.run(queries[:8]))
+
+    benchmark(run)
+
+
+def _write_standalone_json(text: str, seconds: float) -> Path:
+    """Mirror run_all.py's BENCH_<name>.json record for standalone runs."""
+    out_dir = Path(__file__).resolve().parents[1] / "bench_results"
+    out_dir.mkdir(exist_ok=True)
+    from repro.bench.harness import environment_info
+
+    record = {
+        "name": "batch_throughput",
+        "seconds": round(seconds, 6),
+        "div": None,
+        "git_revision": None,
+        "environment": environment_info(),
+        "text": text,
+    }
+    path = out_dir / "BENCH_batch_throughput.json"
+    path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+if __name__ == "__main__":
+    t0 = time.perf_counter()
+    series = generate_series()
+    took = time.perf_counter() - t0
+    print(series)
+    print(f"[wrote {_write_standalone_json(series, took)}]")

@@ -28,6 +28,7 @@ import bench_ablation_devices
 import bench_ablation_multidevice
 import bench_ablation_sparsity
 import bench_ablation_tiling
+import bench_batch_throughput
 import bench_fig4_query_scaling
 import bench_fig5_minlen_scaling
 import bench_fig6_seed_histogram
@@ -52,6 +53,7 @@ TARGETS = [
     ("sa_builders", bench_sa_builders.generate_series),
     ("ablation_devices", bench_ablation_devices.generate_series),
     ("session_reuse", bench_session_reuse.generate_series),
+    ("batch_throughput", bench_batch_throughput.generate_series),
 ]
 
 

@@ -37,6 +37,9 @@ from __future__ import annotations
 
 from repro._version import __version__
 from repro.core import (
+    BatchError,
+    BatchResult,
+    BatchRunner,
     GpuMem,
     GpuMemParams,
     MemSession,
@@ -84,6 +87,9 @@ __all__ = [
     "GpuMem",
     "GpuMemParams",
     "MemSession",
+    "BatchRunner",
+    "BatchResult",
+    "BatchError",
     "Pipeline",
     "PipelineStats",
     "get_session",

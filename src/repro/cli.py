@@ -4,6 +4,11 @@ Subcommands mirror how the paper's tools are driven:
 
 - ``gpumem match ref.fa query.fa -l 50``      — extract MEMs (MUMmer-style
   ``r q length`` lines, 1-based like the classic tools).
+- ``gpumem match ... --batch``                — stream the query records
+  through the batched engine (``--batch-workers`` concurrent queries over
+  one warm session; see docs/architecture.md "Batched extraction").
+- ``gpumem map ref.fa reads.fa``              — MEM-seeded read mapping of
+  a (streamed) read set, batched the same way.
 - ``gpumem match ... --trace out.json``       — record a Chrome-trace of the
   run (``--metrics`` dumps counters; see docs/observability.md).
 - ``gpumem index ref.fa -l 50``               — time/report the index build.
@@ -96,10 +101,10 @@ def cmd_match(args) -> int:
         executor=args.executor, workers=args.workers,
     )
 
-    if args.per_record:
-        records = read_fasta(args.query, invalid=args.invalid)
+    if args.per_record or args.batch:
         from repro.core.params import GpuMemParams as _Params
         from repro.core.session import MemSession
+        from repro.sequence.fasta import iter_fasta
 
         # One session for all records: the reference's row indexes are
         # built on the first record and reused for every later one.
@@ -107,20 +112,48 @@ def cmd_match(args) -> int:
             reference, _Params(min_length=args.min_length, **common),
             tracer=tracer,
         )
-        total = 0
-        for rec in records:
-            print(f"> {rec.header}")
-            result = session.find_mems(rec.codes)
-            for r, q, length in result:
+        total = n_records = n_errors = 0
+        records = iter_fasta(args.query, invalid=args.invalid)
+        if args.batch:
+            # Batched engine: records stream straight from the parser into
+            # the runner (bounded in-flight, never materialized); output
+            # stays in record order, one bad record cannot kill the batch.
+            from repro.core.batch import BatchRunner
+
+            runner = BatchRunner(
+                session, workers=args.batch_workers,
+                max_in_flight=args.max_in_flight,
+            )
+            results = runner.run(records)
+        else:
+            from repro.core.batch import BatchResult
+
+            def _serial(records=records):
+                for index, rec in enumerate(records):
+                    yield BatchResult(
+                        index=index, label=rec.header,
+                        value=session.find_mems(rec.codes), seconds=0.0,
+                    )
+            results = _serial()
+        for result in results:
+            n_records += 1
+            print(f"> {result.label}")
+            if not result.ok:
+                n_errors += 1
+                print(f"# error in record {result.label!r}: {result.error}",
+                      file=sys.stderr)
+                continue
+            for r, q, length in result.value:
                 print(f"{r + 1}\t{q + 1}\t{length}")
-            total += len(result)
+            total += len(result.value)
         if args.verbose:
             info = session.cache_info()
-            print(f"# records: {len(records)}  matches: {total}  "
+            print(f"# records: {n_records}  matches: {total}  "
+                  f"errors: {n_errors}  "
                   f"index rows cached: {info['n_cached']}  "
                   f"cache hits: {info['hits']}", file=sys.stderr)
         _emit_observability(args, tracer)
-        return 0
+        return 1 if n_errors else 0
 
     query = _read_single_fasta(args.query, args.invalid)
 
@@ -174,6 +207,51 @@ def cmd_match(args) -> int:
         print(f"# matches: {len(rows)}", file=sys.stderr)
     _emit_observability(args, tracer)
     return 0
+
+
+def cmd_map(args) -> int:
+    from repro.core.batch import BatchRunner
+    from repro.core.mapping import ReadMapper
+    from repro.sequence.fasta import iter_fasta
+
+    reference = _read_single_fasta(args.reference, args.invalid)
+    tracer = _make_cli_tracer(args)
+    mapper = ReadMapper(
+        reference,
+        min_seed=args.min_seed,
+        tolerance=args.tolerance,
+        tracer=tracer,
+        seed_length=min(args.seed_length, args.min_seed),
+        step=args.step,
+        executor=args.executor,
+        workers=args.workers,
+    )
+    runner = BatchRunner(
+        mapper.session, workers=args.batch_workers,
+        max_in_flight=args.max_in_flight,
+    )
+    print("#read\tlocus\tmapq\tsupport\tsecond_support\tn_seeds")
+    n_reads = n_mapped = n_errors = 0
+    reads = iter_fasta(args.reads, invalid=args.invalid)
+    for result in runner.run(reads, fn=mapper.map_read):
+        n_reads += 1
+        if not result.ok:
+            n_errors += 1
+            print(f"{result.label}\t*\t0\t0\t0\t0")
+            print(f"# error in read {result.label!r}: {result.error}",
+                  file=sys.stderr)
+            continue
+        m = result.value
+        locus = m.locus + 1 if m.mapped else "*"
+        n_mapped += int(m.mapped)
+        print(f"{result.label}\t{locus}\t{m.mapq}\t{m.support}"
+              f"\t{m.second_support}\t{m.n_seeds}")
+    if args.verbose:
+        info = mapper.session.cache_info()
+        print(f"# reads: {n_reads}  mapped: {n_mapped}  errors: {n_errors}  "
+              f"index rows cached: {info['n_cached']}", file=sys.stderr)
+    _emit_observability(args, tracer)
+    return 1 if n_errors else 0
 
 
 def cmd_index(args) -> int:
@@ -362,10 +440,55 @@ def main(argv=None) -> int:
     p.add_argument("--per-record", action="store_true",
                    help="match each query FASTA record separately "
                         "(MUMmer-style multi-record output)")
+    p.add_argument("--batch", action="store_true",
+                   help="per-record mode on the batched engine: stream "
+                        "records through a BatchRunner (--batch-workers "
+                        "concurrent queries, one warm session, per-record "
+                        "error isolation)")
+    p.add_argument("--batch-workers", type=int, default=None, metavar="N",
+                   help="concurrent queries of --batch (default: CPU count, "
+                        "capped at 8)")
+    p.add_argument("--max-in-flight", type=int, default=None, metavar="N",
+                   help="backpressure bound of --batch: at most N records "
+                        "submitted but unfinished (default 2x workers)")
     p.add_argument("--paf", action="store_true",
                    help="emit PAF records instead of MUMmer-style triplets")
     p.add_argument("-v", "--verbose", action="store_true")
     p.set_defaults(fn=cmd_match)
+
+    p = sub.add_parser(
+        "map",
+        help="MEM-seeded read mapping: stream a read set through the "
+             "batched engine against one warm reference session",
+    )
+    p.add_argument("reference", help="reference FASTA file")
+    p.add_argument("reads", help="reads FASTA file (streamed, any size)")
+    p.add_argument("-l", "--min-seed", type=int, default=20,
+                   help="minimum MEM seed length (default 20)")
+    p.add_argument("-s", "--seed-length", type=int, default=10,
+                   help="indexing seed length ℓs (default 10)")
+    p.add_argument("--step", type=int, default=None,
+                   help="indexing step Δs (default: the Eq. 1 maximum)")
+    p.add_argument("--tolerance", type=int, default=200,
+                   help="diagonal bucket width / max cumulative indel "
+                        "(default 200)")
+    p.add_argument("--invalid", choices=("error", "skip", "random"),
+                   default="random", help="non-ACGT letter policy")
+    p.add_argument("--executor", choices=("serial", "threads", "banded"),
+                   default="serial",
+                   help="row executor inside each query (default serial)")
+    p.add_argument("--workers", type=int, default=None, metavar="N",
+                   help="row-executor width (threads/bands per query)")
+    p.add_argument("--batch-workers", type=int, default=None, metavar="N",
+                   help="concurrent reads (default: CPU count, capped at 8)")
+    p.add_argument("--max-in-flight", type=int, default=None, metavar="N",
+                   help="backpressure bound (default 2x batch workers)")
+    p.add_argument("--trace", metavar="PATH", default=None,
+                   help="record a Chrome-trace JSON of the run")
+    p.add_argument("--metrics", action="store_true",
+                   help="print the run's metrics registry to stderr")
+    p.add_argument("-v", "--verbose", action="store_true")
+    p.set_defaults(fn=cmd_map)
 
     p = sub.add_parser("index", help="build (and time) the GPUMEM index only")
     _add_match_args(p)

@@ -17,6 +17,7 @@ Public surface:
 - :func:`~repro.core.reference.brute_force_mems` — independent ground truth.
 """
 
+from repro.core.batch import BatchError, BatchResult, BatchRunner, find_mems_batch
 from repro.core.chaining import Chain, chain_anchors
 from repro.core.distance import distance_matrix, mem_coverage, mem_distance
 from repro.core.executors import (
@@ -52,6 +53,10 @@ __all__ = [
     "Pipeline",
     "PipelineStats",
     "MemSession",
+    "BatchRunner",
+    "BatchResult",
+    "BatchError",
+    "find_mems_batch",
     "get_session",
     "clear_session_cache",
     "SerialExecutor",

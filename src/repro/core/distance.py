@@ -66,11 +66,27 @@ def mem_distance(reference, query, *, min_length: int = 30,
     return (d_q + d_r) / 2.0
 
 
-def distance_matrix(sequences, *, min_length: int = 30, **kwargs) -> np.ndarray:
+def distance_matrix(
+    sequences,
+    *,
+    min_length: int = 30,
+    batch_workers: int | None = None,
+    max_in_flight: int | None = None,
+    **kwargs,
+) -> np.ndarray:
     """Symmetric pairwise MEM-distance matrix over a list of sequences.
 
-    One session per sequence — O(n) index builds for the O(n²) pairs.
+    One session per sequence — O(n) index builds for the O(n²) pairs —
+    and each session's row of coverage queries runs through a
+    :class:`repro.core.batch.BatchRunner` (``batch_workers`` threads per
+    row, ``max_in_flight`` backpressure), so pairs overlap on real cores
+    while the single-flight cache guarantees each row index is still
+    built exactly once.
     """
+    from functools import partial
+
+    from repro.core.batch import BatchRunner
+
     symmetric = bool(kwargs.pop("symmetric", True))
     seqs = [as_codes(s) for s in sequences]
     n = len(seqs)
@@ -79,12 +95,29 @@ def distance_matrix(sequences, *, min_length: int = 30, **kwargs) -> np.ndarray:
     sessions = [
         MemSession(seq, min_length=min_length, **kwargs) for seq in seqs
     ]
+    # Directed coverage of session i's reference by sequence j, for every
+    # pair the requested variant needs: j > i always; j < i only when the
+    # symmetric average uses the reverse direction too.
+    coverage = np.zeros((n, n), dtype=np.float64)
+    for i, session in enumerate(sessions):
+        targets = (
+            [j for j in range(n) if j != i] if symmetric
+            else list(range(i + 1, n))
+        )
+        if not targets:
+            continue
+        runner = BatchRunner(
+            session, workers=batch_workers, max_in_flight=max_in_flight
+        )
+        values = runner.map(
+            partial(_coverage_of, session), [seqs[j] for j in targets]
+        )
+        coverage[i, targets] = values
     out = np.zeros((n, n), dtype=np.float64)
     for i in range(n):
         for j in range(i + 1, n):
-            d = 1.0 - _coverage_of(sessions[i], seqs[j])
+            d = 1.0 - coverage[i, j]
             if symmetric:
-                d_r = 1.0 - _coverage_of(sessions[j], seqs[i])
-                d = (d + d_r) / 2.0
+                d = (d + 1.0 - coverage[j, i]) / 2.0
             out[i, j] = out[j, i] = d
     return out

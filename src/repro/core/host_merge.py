@@ -40,8 +40,20 @@ def combine_diagonal(triplets: np.ndarray) -> np.ndarray:
     # accumulate cannot leak across groups.
     group = np.cumsum(np.concatenate(([0], (np.diff(diag) != 0).astype(np.int64))))
     stride = int(end.max()) - int(q.min()) + 1
-    keyed = end + group * stride
-    seg_cummax = np.maximum.accumulate(keyed) - group * stride
+    # `group * stride` is an int64 product; with many diagonal groups and
+    # far-apart query offsets it can exceed 2^63 - 1, where NumPy wraps
+    # silently and the accumulate leaks across groups. Check the largest
+    # key with exact Python ints and fall back to per-group accumulates.
+    max_key = int(group[-1]) * stride + int(end.max())
+    if max_key <= np.iinfo(np.int64).max:
+        keyed = end + group * stride
+        seg_cummax = np.maximum.accumulate(keyed) - group * stride
+    else:
+        starts = np.nonzero(np.concatenate(([True], np.diff(diag) != 0)))[0]
+        bounds = np.append(starts, end.size)
+        seg_cummax = np.empty_like(end)
+        for a, b in zip(bounds[:-1], bounds[1:], strict=True):
+            seg_cummax[a:b] = np.maximum.accumulate(end[a:b])
 
     new_chain = np.ones(t.size, dtype=bool)
     if t.size > 1:

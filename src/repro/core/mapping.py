@@ -109,5 +109,28 @@ class ReadMapper:
             n_seeds=int(arr.size),
         )
 
-    def map_reads(self, reads) -> list[ReadMapping]:
-        return [self.map_read(read) for read in reads]
+    def map_reads(
+        self,
+        reads,
+        *,
+        batch_workers: int | None = None,
+        max_in_flight: int | None = None,
+    ) -> list[ReadMapping]:
+        """Map many reads; returns mappings in input order.
+
+        Runs on a :class:`repro.core.batch.BatchRunner` bound to the
+        mapper's warm session, so reads are matched concurrently
+        (``batch_workers`` threads, ``max_in_flight`` backpressure bound)
+        while the per-row index cache is shared — single-flight — across
+        all in-flight reads. Accepts any iterable, including a streaming
+        :func:`repro.sequence.fasta.iter_fasta` generator. A failing read
+        raises, exactly like a serial ``map_read`` loop would.
+        """
+        from repro.core.batch import BatchRunner
+
+        runner = BatchRunner(
+            self.session,
+            workers=batch_workers,
+            max_in_flight=max_in_flight,
+        )
+        return runner.map(self.map_read, reads)

@@ -23,6 +23,7 @@ Derived: ``block_width ℓblock = τ · w`` and ``tile_size ℓtile = n_block ·
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, replace
 
 from repro.core.executors import EXECUTOR_NAMES
@@ -49,8 +50,12 @@ class GpuMemParams:
     load_balancing: bool = True
     backend: str = "vectorized"
     #: Row executor of the staged pipeline: "serial", "threads", or "banded".
-    executor: str = "serial"
-    #: Pool width ("threads") or band count ("banded"); None = executor default.
+    #: ``None`` resolves to the ``REPRO_EXECUTOR`` environment variable
+    #: (default "serial") — the knob CI's threaded tier-1 leg uses to run
+    #: the whole suite under ``executor=threads``.
+    executor: str | None = None
+    #: Pool width ("threads") or band count ("banded"); ``None`` resolves to
+    #: ``REPRO_WORKERS`` if set, else the executor's own default.
     workers: int | None = None
 
     def __post_init__(self):
@@ -93,6 +98,14 @@ class GpuMemParams:
         if self.backend not in BACKENDS:
             raise InvalidParameterError(
                 f"unknown backend {self.backend!r}; choose from {BACKENDS}"
+            )
+        if self.executor is None:
+            object.__setattr__(
+                self, "executor", os.environ.get("REPRO_EXECUTOR", "serial")
+            )
+        if self.workers is None and os.environ.get("REPRO_WORKERS"):
+            object.__setattr__(
+                self, "workers", int(os.environ["REPRO_WORKERS"])
             )
         if self.executor not in EXECUTOR_NAMES:
             raise InvalidParameterError(

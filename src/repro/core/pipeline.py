@@ -211,22 +211,33 @@ class RowIndexStage:
         row: int,
         cache=None,
     ) -> tuple[KmerSeedIndex, float, bool]:
-        if cache is not None:
-            cached = cache.get(row)
-            if cached is not None:
-                return cached, 0.0, True
-        r0, r1 = plan.row_range(row)
-        t0 = time.perf_counter()
-        index = build_kmer_index(
-            reference,
-            seed_length=self.params.seed_length,
-            step=self.params.step,
-            region_start=r0,
-            region_end=r1,
-        )
-        seconds = time.perf_counter() - t0
-        if cache is not None:
-            cache.put(row, index)
+        def build() -> tuple[KmerSeedIndex, float]:
+            r0, r1 = plan.row_range(row)
+            t0 = time.perf_counter()
+            index = build_kmer_index(
+                reference,
+                seed_length=self.params.seed_length,
+                step=self.params.step,
+                region_start=r0,
+                region_end=r1,
+            )
+            return index, time.perf_counter() - t0
+
+        if cache is None:
+            index, seconds = build()
+            return index, seconds, False
+        # Prefer the single-flight protocol (MemSession.get_or_build): under
+        # the threads executor / BatchRunner, concurrent misses on one row
+        # must produce exactly one build. Plain get/put caches remain
+        # supported for simple (serial) callers.
+        get_or_build = getattr(cache, "get_or_build", None)
+        if get_or_build is not None:
+            return get_or_build(row, build)
+        cached = cache.get(row)
+        if cached is not None:
+            return cached, 0.0, True
+        index, seconds = build()
+        cache.put(row, index)
         return index, seconds, False
 
 

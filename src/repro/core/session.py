@@ -80,6 +80,8 @@ class MemSession:
         )
         self._row_indexes: dict[int, KmerSeedIndex] = {}
         self._lock = threading.Lock()
+        #: Per-row single-flight build locks, created lazily under _lock.
+        self._build_locks: dict[int, threading.Lock] = {}
         self._hits = 0
         self._misses = 0
         self._n_queries = 0
@@ -87,8 +89,8 @@ class MemSession:
     # -- index cache protocol (consumed by RowIndexStage) ----------------------
     def get(self, row: int) -> KmerSeedIndex | None:
         """Cache-protocol read: the row's index, or None if not yet built."""
-        index = self._row_indexes.get(row)
         with self._lock:
+            index = self._row_indexes.get(row)
             if index is None:
                 self._misses += 1
             else:
@@ -97,7 +99,39 @@ class MemSession:
 
     def put(self, row: int, index: KmerSeedIndex) -> None:
         """Cache-protocol write: remember a freshly built row index."""
-        self._row_indexes[row] = index
+        with self._lock:
+            self._row_indexes[row] = index
+
+    def get_or_build(self, row: int, build) -> tuple[KmerSeedIndex, float, bool]:
+        """Single-flight cache fill: ``(index, build_seconds, cache_hit)``.
+
+        ``build`` is a zero-argument callable returning
+        ``(KmerSeedIndex, seconds)``. Concurrent callers that miss the same
+        row serialize on a per-row lock so exactly one of them builds; the
+        others block briefly and are then served the cached index (counted
+        as hits — only the one real build is a miss). This is what makes
+        the session safe under the ``threads`` executor and under
+        query-level concurrency (:class:`repro.core.batch.BatchRunner`).
+        """
+        with self._lock:
+            index = self._row_indexes.get(row)
+            if index is not None:
+                self._hits += 1
+                return index, 0.0, True
+            row_lock = self._build_locks.setdefault(row, threading.Lock())
+        with row_lock:
+            # Re-check: a concurrent builder may have filled the row while
+            # we waited on its lock.
+            with self._lock:
+                index = self._row_indexes.get(row)
+                if index is not None:
+                    self._hits += 1
+                    return index, 0.0, True
+            index, seconds = build()
+            with self._lock:
+                self._misses += 1
+                self._row_indexes[row] = index
+            return index, seconds, False
 
     # -- geometry --------------------------------------------------------------
     @property
@@ -127,27 +161,41 @@ class MemSession:
             return self.pipeline.build_row_indexes(self.reference, cache=self)
 
     def drop_indexes(self) -> None:
-        """Release all cached row indexes (memory pressure valve)."""
-        self._row_indexes.clear()
+        """Release all cached row indexes (memory pressure valve).
+
+        Safe to call while queries are in flight: the swap happens under
+        the cache lock, so concurrent row builds either land before the
+        drop (and are released) or after it (and repopulate the cache).
+        """
+        with self._lock:
+            self._row_indexes = {}
 
     def cache_info(self) -> dict:
-        """Cache effectiveness counters and resident footprint."""
+        """Cache effectiveness counters and resident footprint.
+
+        Counters and the resident-index list are snapshotted under the
+        cache lock, so this is safe to call while the threads executor (or
+        a :class:`~repro.core.batch.BatchRunner`) is mutating the cache.
+        """
+        with self._lock:
+            indexes = list(self._row_indexes.values())
+            hits, misses = self._hits, self._misses
+            n_queries = self._n_queries
         return {
             "n_rows": self.n_rows,
-            "n_cached": len(self._row_indexes),
-            "hits": self._hits,
-            "misses": self._misses,
-            "n_queries": self._n_queries,
-            "nbytes_packed": sum(
-                ix.nbytes_packed for ix in self._row_indexes.values()
-            ),
+            "n_cached": len(indexes),
+            "hits": hits,
+            "misses": misses,
+            "n_queries": n_queries,
+            "nbytes_packed": sum(ix.nbytes_packed for ix in indexes),
         }
 
     # -- extraction ------------------------------------------------------------
     def find_mems(self, query) -> MatchSet:
         """All MEMs of ``query`` against the bound reference."""
         query = as_codes(query)
-        self._n_queries += 1
+        with self._lock:
+            self._n_queries += 1
         with self.tracer.span(
             "session.find_mems", cat="session", n_query=int(query.size)
         ):

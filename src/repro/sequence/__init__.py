@@ -26,7 +26,7 @@ from repro.sequence.datasets import (
     load_dataset,
     load_experiment,
 )
-from repro.sequence.fasta import read_fasta, write_fasta
+from repro.sequence.fasta import iter_fasta, read_fasta, write_fasta
 from repro.sequence.packed import PackedSequence, kmer_codes, pack_bits, unpack_bits
 from repro.sequence.synthetic import (
     SyntheticGenomeSpec,
@@ -51,6 +51,7 @@ __all__ = [
     "kmer_codes",
     "pack_bits",
     "unpack_bits",
+    "iter_fasta",
     "read_fasta",
     "write_fasta",
     "SyntheticGenomeSpec",

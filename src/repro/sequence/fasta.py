@@ -62,46 +62,64 @@ def _resolve_invalid(raw: bytes, policy: str, seed: int) -> tuple[np.ndarray, in
     raise ValueError(f"unknown invalid-letter policy {policy!r}")
 
 
-def read_fasta(path_or_file, *, invalid: str = "error", seed: int = 0) -> list[FastaRecord]:
-    """Parse a FASTA file into a list of :class:`FastaRecord`.
+def iter_fasta(path_or_file, *, invalid: str = "error", seed: int = 0):
+    """Stream a FASTA file one :class:`FastaRecord` at a time.
 
-    ``path_or_file`` may be a filesystem path or a text/bytes file object.
+    Unlike :func:`read_fasta` this is a generator that holds at most one
+    record's sequence in memory, so a many-million-read file can feed a
+    :class:`repro.core.batch.BatchRunner` without ever materializing.
+    ``path_or_file`` may be a filesystem path or a text/bytes file object;
     ``invalid`` selects the non-ACGT policy (see module docstring).
     """
     if invalid not in ("error", "skip", "random"):
         raise ValueError(f"unknown invalid-letter policy {invalid!r}")
     if isinstance(path_or_file, (str, os.PathLike)):
         with open(path_or_file, "rb") as fh:
-            return read_fasta(fh, invalid=invalid, seed=seed)
-    data = path_or_file.read()
-    if isinstance(data, str):
-        data = data.encode("ascii")
-    records: list[FastaRecord] = []
+            yield from iter_fasta(fh, invalid=invalid, seed=seed)
+        return
     header: str | None = None
     chunks: list[bytes] = []
+    n_records = 0
 
-    def flush():
+    def flush() -> FastaRecord | None:
         if header is None:
             if chunks and b"".join(chunks).strip():
                 raise InvalidSequenceError("sequence data before any FASTA header")
-            return
-        codes, dropped = _resolve_invalid(b"".join(chunks), invalid, seed + len(records))
-        records.append(FastaRecord(header=header, codes=codes, dropped=dropped))
+            return None
+        codes, dropped = _resolve_invalid(b"".join(chunks), invalid, seed + n_records)
+        return FastaRecord(header=header, codes=codes, dropped=dropped)
 
-    for line in data.splitlines():
+    for line in path_or_file:
+        if isinstance(line, str):
+            line = line.encode("ascii")
         line = line.strip()
         if not line:
             continue
         if line.startswith(b">"):
-            flush()
+            record = flush()
+            if record is not None:
+                yield record
+                n_records += 1
             header = line[1:].decode("ascii", errors="replace").strip()
             chunks = []
         else:
             chunks.append(line)
-    flush()
-    if not records and header is None:
+    record = flush()
+    if record is not None:
+        yield record
+        n_records += 1
+    if n_records == 0 and header is None:
         raise InvalidSequenceError("no FASTA records found")
-    return records
+
+
+def read_fasta(path_or_file, *, invalid: str = "error", seed: int = 0) -> list[FastaRecord]:
+    """Parse a FASTA file into a list of :class:`FastaRecord`.
+
+    ``path_or_file`` may be a filesystem path or a text/bytes file object.
+    ``invalid`` selects the non-ACGT policy (see module docstring). For
+    files too large to materialize, use :func:`iter_fasta`.
+    """
+    return list(iter_fasta(path_or_file, invalid=invalid, seed=seed))
 
 
 def write_fasta(path_or_file, records, *, width: int = 70) -> None:

@@ -58,6 +58,45 @@ class TestCombineDiagonal:
             [(q + d, q, l) for d, q, l in trips]
         )
 
+    def test_group_stride_product_overflow(self):
+        """Regression: ``group * stride`` silently wrapped int64.
+
+        With far-apart query offsets the per-group stride is ~2^61; at five
+        or more diagonal groups the keyed offsets exceed 2^63 - 1, NumPy
+        wraps, and the segmented cummax leaks across diagonals — merging
+        triplets that belong to different chains. Constructed so the old
+        arithmetic is tripped: a contained interval late in a wrapped group
+        would be mis-detected as a new chain (or vice versa).
+        """
+        far = 2**61
+        trips = []
+        # Six diagonal groups; each has an overlapping pair that must merge
+        # and a separated triplet that must not.
+        for g in range(6):
+            base_q = 10 + g if g < 3 else far + g  # spread makes stride huge
+            diag = g * 7
+            trips += [
+                (base_q + diag, base_q, 20),
+                (base_q + diag + 10, base_q + 10, 20),  # overlaps → merges
+                (base_q + diag + 100, base_q + 100, 5),  # gap → separate
+            ]
+        arr = triplets_from_tuples(trips)
+        # Exact Python-int keyed offsets overflow int64 for this input —
+        # the guard must route to the per-group fallback.
+        stride = int(max(q + l for _, q, l in trips)) - 10 + 1
+        assert 5 * stride > np.iinfo(np.int64).max
+        got = {tuple(map(int, m)) for m in combine_diagonal(arr)}
+        assert got == chain_merge_expected(trips)
+
+    def test_large_but_safe_offsets_use_fast_path(self):
+        trips = [(1_000_000 + 5, 1_000_000, 30),
+                 (1_000_000 + 25, 1_000_000 + 20, 30),
+                 (50, 10, 8)]
+        got = {tuple(map(int, m)) for m in combine_diagonal(
+            triplets_from_tuples(trips)
+        )}
+        assert got == chain_merge_expected(trips)
+
 
 class TestFinalize:
     def test_re_extension_restores_maximality(self):
