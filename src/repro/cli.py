@@ -18,7 +18,7 @@ Subcommands mirror how the paper's tools are driven:
   the per-kernel device profile rollup.
 - ``gpumem dataset chr1m out.fa``             — write a Table II analogue.
 - ``gpumem bench --only table3``              — regenerate evaluation assets.
-- ``gpumem analyze src/repro``                — static SIMT lint (CI gate).
+- ``gpumem analyze --all src/repro``          — static SIMT + lock lint (CI gate).
 """
 
 from __future__ import annotations
@@ -398,6 +398,7 @@ def cmd_bench(args) -> int:
 def cmd_analyze(args) -> int:
     import os
 
+    from repro.analysis.concurrency_lint import lint_host_paths
     from repro.analysis.kernel_lint import (
         findings_to_json,
         format_findings,
@@ -412,7 +413,16 @@ def cmd_analyze(args) -> int:
         paths = [os.path.dirname(repro.__file__)]
     select = args.select.split(",") if args.select else None
     ignore = args.ignore.split(",") if args.ignore else None
-    findings = lint_paths(paths, select=select, ignore=ignore)
+    # --device (default, back-compat) = KL SIMT rules; --host = CL lock
+    # rules; --all = both, merged into one report / JSON document.
+    device = args.side in ("device", "all")
+    host = args.side in ("host", "all")
+    findings = []
+    if device:
+        findings.extend(lint_paths(paths, select=select, ignore=ignore))
+    if host:
+        findings.extend(lint_host_paths(paths, select=select, ignore=ignore))
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
     if args.format == "json":
         print(findings_to_json(findings))
     else:
@@ -539,15 +549,25 @@ def main(argv=None) -> int:
 
     p = sub.add_parser(
         "analyze",
-        help="static SIMT lint: barrier divergence, shared-memory races, "
-             "work accounting, dtype discipline (exit 1 on any finding)",
+        help="static concurrency lint — device (SIMT: barrier divergence, "
+             "shared-memory races, KL1xx-KL2xx) and/or host (lock "
+             "discipline, deadlock shapes, CL1xx) — exit 1 on any finding",
     )
     p.add_argument("paths", nargs="*", metavar="PATH",
                    help="files or directories to lint "
                         "(default: the installed repro package)")
+    side = p.add_mutually_exclusive_group()
+    side.add_argument("--device", dest="side", action="store_const",
+                      const="device",
+                      help="device-side SIMT rules only (KL1xx/KL2xx; default)")
+    side.add_argument("--host", dest="side", action="store_const", const="host",
+                      help="host-side lock-discipline rules only (CL1xx)")
+    side.add_argument("--all", dest="side", action="store_const", const="all",
+                      help="both device and host rule families")
+    p.set_defaults(side="device")
     p.add_argument("--format", choices=("text", "json"), default="text")
     p.add_argument("--select", metavar="RULES", default=None,
-                   help="comma-separated rule ids to report (e.g. KL101,KL102)")
+                   help="comma-separated rule ids to report (e.g. KL101,CL102)")
     p.add_argument("--ignore", metavar="RULES", default=None,
                    help="comma-separated rule ids to suppress")
     p.set_defaults(fn=cmd_analyze)

@@ -39,13 +39,13 @@ Example::
 from __future__ import annotations
 
 import os
-import threading
 import time
 from collections import deque
 from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Iterator
 
+from repro.analysis.lock_tracker import new_lock
 from repro.core.params import GpuMemParams
 from repro.core.pipeline import as_codes
 from repro.core.session import MemSession
@@ -149,6 +149,10 @@ class BatchRunner:
         iteration point (remaining in-flight queries are drained).
     tracer:
         Optional :class:`repro.obs.Tracer`; defaults to the session's.
+    lock_factory:
+        Injectable ``name -> lock`` factory (see
+        :mod:`repro.analysis.lock_tracker`); forwarded to a freshly
+        built session and used for the runner's own in-flight lock.
     """
 
     def __init__(
@@ -161,6 +165,7 @@ class BatchRunner:
         max_in_flight: int | None = None,
         errors: str = "isolate",
         tracer: Tracer | None = None,
+        lock_factory=None,
         **kwargs,
     ):
         if isinstance(session_or_reference, MemSession):
@@ -171,11 +176,14 @@ class BatchRunner:
                 )
             self.session = session_or_reference
             self.tracer = get_tracer(tracer) if tracer else self.session.tracer
+            lock_factory = lock_factory or self.session._lock_factory
         else:
             self.session = MemSession(
-                session_or_reference, params, tracer=tracer, **kwargs
+                session_or_reference, params, tracer=tracer,
+                lock_factory=lock_factory, **kwargs
             )
             self.tracer = self.session.tracer
+            lock_factory = self.session._lock_factory
         if workers is not None and workers < 1:
             raise InvalidParameterError(f"workers must be >= 1, got {workers}")
         self.workers = int(workers) if workers else min(8, os.cpu_count() or 1)
@@ -192,7 +200,7 @@ class BatchRunner:
             )
         self.errors = errors
         self._in_flight = 0
-        self._in_flight_lock = threading.Lock()
+        self._in_flight_lock = (lock_factory or new_lock)("batch.in_flight")  # guards: _in_flight
 
     # -- iteration entry points ------------------------------------------------
     def run(

@@ -29,6 +29,7 @@ from typing import Callable, Sequence
 
 import numpy as np
 
+from repro.analysis.lock_tracker import new_lock
 from repro.errors import InvalidParameterError
 from repro.obs.tracer import NULL_TRACER
 
@@ -93,28 +94,39 @@ class ThreadPoolRowExecutor(RowExecutor):
 
     name = "threads"
 
-    def __init__(self, workers: int | None = None):
+    def __init__(self, workers: int | None = None, lock_factory=None):
         if workers is not None and workers < 1:
             raise InvalidParameterError(f"workers must be >= 1, got {workers}")
         self.workers = int(workers) if workers else min(8, os.cpu_count() or 1)
+        self._lock = (lock_factory or new_lock)("executor.stats")  # guards: _n_rows_done
+        self._n_rows_done = 0
 
     def map_rows(self, fn, rows):
         rows = list(rows)
+
+        def run_one(row):
+            result = fn(row)
+            with self._lock:
+                self._n_rows_done += 1
+            return result
+
         with self.tracer.span(
             "executor:threads", cat="executor",
             n_rows=len(rows), workers=self.workers,
         ):
             if self.workers == 1 or len(rows) <= 1:
-                return [fn(row) for row in rows]
+                return [run_one(row) for row in rows]
             from concurrent.futures import ThreadPoolExecutor
 
             with ThreadPoolExecutor(
                 max_workers=min(self.workers, len(rows))
             ) as pool:
-                return list(pool.map(fn, rows))
+                return list(pool.map(run_one, rows))
 
     def annotate(self, stats) -> None:
         stats["workers"] = self.workers
+        with self._lock:
+            stats["rows_completed"] = self._n_rows_done
 
     def __repr__(self) -> str:
         return f"ThreadPoolRowExecutor(workers={self.workers})"
@@ -177,16 +189,20 @@ class BandedExecutor(RowExecutor):
         return f"BandedExecutor(n_bands={self.n_bands})"
 
 
-def make_executor(name: str, workers: int | None = None) -> RowExecutor:
+def make_executor(
+    name: str, workers: int | None = None, lock_factory=None
+) -> RowExecutor:
     """Build an executor from its registry name.
 
     ``workers`` means pool width for ``"threads"`` and band count for
-    ``"banded"``; it is ignored by ``"serial"``.
+    ``"banded"``; it is ignored by ``"serial"``. ``lock_factory`` (see
+    :mod:`repro.analysis.lock_tracker`) is forwarded to executors that own
+    locks so their locks join the caller's lock-order tracking.
     """
     if name == "serial":
         return SerialExecutor()
     if name == "threads":
-        return ThreadPoolRowExecutor(workers=workers)
+        return ThreadPoolRowExecutor(workers=workers, lock_factory=lock_factory)
     if name == "banded":
         return BandedExecutor(n_bands=workers or 2)
     raise InvalidParameterError(

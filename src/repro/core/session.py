@@ -24,6 +24,7 @@ from collections import OrderedDict
 
 import numpy as np
 
+from repro.analysis.lock_tracker import new_lock
 from repro.core.executors import RowExecutor, make_executor
 from repro.core.params import GpuMemParams
 from repro.core.pipeline import Pipeline, PipelineStats, as_codes
@@ -55,6 +56,7 @@ class MemSession:
         *,
         executor: RowExecutor | str | None = None,
         tracer: Tracer | None = None,
+        lock_factory=None,
         **kwargs,
     ):
         if isinstance(executor, str):
@@ -69,8 +71,14 @@ class MemSession:
         self.params = params
         self.tracer = get_tracer(tracer)
         self.reference = as_codes(reference)
+        #: Injectable lock factory (``name -> lock``); the default
+        #: ``new_lock`` yields plain locks unless a runtime
+        #: :class:`repro.analysis.lock_tracker.LockTracker` is installed.
+        self._lock_factory = lock_factory or new_lock
         if executor is None:
-            executor = make_executor(params.executor, params.workers)
+            executor = make_executor(
+                params.executor, params.workers, lock_factory=self._lock_factory
+            )
         self.pipeline = Pipeline(params, executor=executor, tracer=self.tracer)
         #: Stats of the most recent :meth:`find_mems` run.
         self.stats = PipelineStats(
@@ -79,8 +87,9 @@ class MemSession:
             params=params.describe(),
         )
         self._row_indexes: dict[int, KmerSeedIndex] = {}
-        self._lock = threading.Lock()
-        #: Per-row single-flight build locks, created lazily under _lock.
+        self._lock = self._lock_factory("session.cache")  # guards: _row_indexes, _build_locks, _hits, _misses, _n_queries
+        #: Per-row single-flight build locks, created lazily under _lock
+        #: and pruned by :meth:`drop_indexes` (one lock class: "session.build").
         self._build_locks: dict[int, threading.Lock] = {}
         self._hits = 0
         self._misses = 0
@@ -118,7 +127,9 @@ class MemSession:
             if index is not None:
                 self._hits += 1
                 return index, 0.0, True
-            row_lock = self._build_locks.setdefault(row, threading.Lock())
+            row_lock = self._build_locks.setdefault(
+                row, self._lock_factory("session.build")
+            )
         with row_lock:
             # Re-check: a concurrent builder may have filled the row while
             # we waited on its lock.
@@ -166,9 +177,21 @@ class MemSession:
         Safe to call while queries are in flight: the swap happens under
         the cache lock, so concurrent row builds either land before the
         drop (and are released) or after it (and repopulate the cache).
+
+        The per-row build locks are pruned along with the indexes they
+        single-flight — without this they accumulated one Lock per row
+        ever touched for the lifetime of the session. A lock currently
+        held by an in-flight builder is kept (its waiters still
+        serialize on it); a freshly dropped row simply grows a new one
+        on next touch, and the worst case around a drop is one extra
+        rebuild of that row, never a wrong result.
         """
         with self._lock:
             self._row_indexes = {}
+            self._build_locks = {
+                row: lock for row, lock in self._build_locks.items()
+                if lock.locked()
+            }
 
     def cache_info(self) -> dict:
         """Cache effectiveness counters and resident footprint.
@@ -237,9 +260,11 @@ class MemSession:
         return [self.find_mems(query) for query in queries]
 
     def __repr__(self) -> str:
+        with self._lock:
+            n_cached = len(self._row_indexes)
         return (
             f"MemSession(|R|={self.reference.size}, "
-            f"rows={len(self._row_indexes)}/{self.n_rows} cached, "
+            f"rows={n_cached}/{self.n_rows} cached, "
             f"executor={self.pipeline.executor.name!r})"
         )
 
@@ -250,7 +275,7 @@ class MemSession:
 SESSION_CACHE_SIZE = 8
 
 _session_cache: OrderedDict[tuple, MemSession] = OrderedDict()
-_session_cache_lock = threading.Lock()
+_session_cache_lock = threading.Lock()  # guards: _session_cache, _lru_hits, _lru_misses
 #: Cumulative process-wide LRU effectiveness (see :func:`session_cache_info`).
 _lru_hits = 0
 _lru_misses = 0

@@ -70,5 +70,24 @@ class RaceConditionError(KernelError):
         super().__init__(message)
 
 
+class LockOrderError(GpuMemError, RuntimeError):
+    """The runtime lock tracker observed a lock-order inversion.
+
+    Raised (in ``mode="raise"``) at the acquisition that closes a cycle in
+    the process-wide lock-order graph: somewhere lock A was taken while B
+    was held and this thread just took B while holding A — two threads on
+    those paths can deadlock. ``cycle`` holds the
+    :class:`repro.analysis.lock_tracker.AcquisitionSite` records (lock
+    names, thread names, acquisition sites and full stacks) for every edge
+    of the cycle, so the report carries both threads' provenance without
+    message parsing.
+    """
+
+    def __init__(self, message: str, cycle=()):
+        #: edge provenance records around the order cycle
+        self.cycle = tuple(cycle)
+        super().__init__(message)
+
+
 class IndexError_(GpuMemError, RuntimeError):
     """An index structure is inconsistent (used by self-check utilities)."""

@@ -50,14 +50,15 @@ class Counter:
         self.name = name
         self.labels = labels
         self.value = 0
-        self._lock = threading.Lock()
+        self._lock = threading.Lock()  # guards: value
 
     def inc(self, n: int | float = 1) -> None:
         with self._lock:
             self.value += n
 
     def to_dict(self) -> dict:
-        return {"type": "counter", "value": self.value}
+        with self._lock:
+            return {"type": "counter", "value": self.value}
 
 
 class Gauge:
@@ -69,7 +70,7 @@ class Gauge:
         self.name = name
         self.labels = labels
         self.value = 0.0
-        self._lock = threading.Lock()
+        self._lock = threading.Lock()  # guards: value
 
     def set(self, value: float) -> None:
         with self._lock:
@@ -80,7 +81,8 @@ class Gauge:
             self.value += delta
 
     def to_dict(self) -> dict:
-        return {"type": "gauge", "value": self.value}
+        with self._lock:
+            return {"type": "gauge", "value": self.value}
 
 
 class Histogram:
@@ -99,7 +101,7 @@ class Histogram:
         self.sum = 0.0
         self.min = float("inf")
         self.max = float("-inf")
-        self._lock = threading.Lock()
+        self._lock = threading.Lock()  # guards: bucket_counts, count, sum, min, max
 
     def observe(self, value: float) -> None:
         value = float(value)
@@ -117,20 +119,28 @@ class Histogram:
 
     @property
     def mean(self) -> float:
-        return self.sum / self.count if self.count else 0.0
+        with self._lock:
+            return self.sum / self.count if self.count else 0.0
 
     def to_dict(self) -> dict:
+        # Snapshot under the lock, derive (mean) outside it: calling the
+        # ``mean`` property here would re-acquire the plain Lock and hang.
+        with self._lock:
+            count = self.count
+            total = self.sum
+            lo, hi = self.min, self.max
+            bucket_counts = list(self.bucket_counts)
         return {
             "type": "histogram",
-            "count": self.count,
-            "sum": self.sum,
-            "min": self.min if self.count else None,
-            "max": self.max if self.count else None,
-            "mean": self.mean,
+            "count": count,
+            "sum": total,
+            "min": lo if count else None,
+            "max": hi if count else None,
+            "mean": total / count if count else 0.0,
             "buckets": {
                 **{str(b): c for b, c in
-                   zip(self.buckets, self.bucket_counts[:-1], strict=True)},
-                "+inf": self.bucket_counts[-1],
+                   zip(self.buckets, bucket_counts[:-1], strict=True)},
+                "+inf": bucket_counts[-1],
             },
         }
 
@@ -143,12 +153,14 @@ class MetricsRegistry:
     enabled = True
 
     def __init__(self):
-        self._lock = threading.Lock()
+        self._lock = threading.Lock()  # guards: _instruments
         self._instruments: dict[tuple, object] = {}
 
     def _get(self, cls, name: str, labels: dict, **kwargs):
         key = (cls.__name__, name, _label_key(labels))
-        inst = self._instruments.get(key)
+        # Double-checked fast path: a stale miss just re-reads under the
+        # lock below; instruments are never removed while handed out.
+        inst = self._instruments.get(key)  # conc: ignore[CL101]
         if inst is None:
             with self._lock:
                 inst = self._instruments.get(key)

@@ -90,7 +90,7 @@ class Tracer:
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._clock = clock
         self._epoch = clock()
-        self._lock = threading.Lock()
+        self._lock = threading.Lock()  # guards: _next_id, _tids, spans
         self._local = threading.local()
         self._next_id = 0
         self._tids: dict[int, int] = {}
@@ -110,7 +110,9 @@ class Tracer:
 
     def _thread_lane(self) -> int:
         ident = threading.get_ident()
-        lane = self._tids.get(ident)
+        # Benign racy fast path: a miss just falls through to the locked
+        # setdefault, which is authoritative; dict reads don't tear.
+        lane = self._tids.get(ident)  # conc: ignore[CL101]
         if lane is None:
             with self._lock:
                 lane = self._tids.setdefault(ident, len(self._tids))
@@ -179,10 +181,13 @@ class Tracer:
         """Human-readable nested text rendering of the recorded spans."""
         from repro.obs.export import format_span_tree
 
-        return format_span_tree(self.spans)
+        with self._lock:
+            spans = list(self.spans)
+        return format_span_tree(spans)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
-        return f"Tracer(spans={len(self.spans)})"
+        # Debug aid only; len() of a list is a single atomic read.
+        return f"Tracer(spans={len(self.spans)})"  # conc: ignore[CL101]
 
 
 class _NullSpan:
@@ -231,6 +236,11 @@ class NullTracer(Tracer):
 
     def find(self, name: str) -> list:
         return []
+
+    def format_tree(self) -> str:
+        from repro.obs.export import format_span_tree
+
+        return format_span_tree([])
 
 
 #: Process-wide disabled tracer; what uninstrumented call sites get.

@@ -1,0 +1,83 @@
+"""Deliberately hazardous host code: the adversarial fixture for the
+concurrency tooling (the lock-layer counterpart of ``planted_kernels``).
+
+Each class/function plants exactly one bug class from ``docs/analysis.md``.
+The static pass (:mod:`repro.analysis.concurrency_lint`) must flag every
+one of them, and the runtime :class:`repro.analysis.lock_tracker.LockTracker`
+must catch the deadlock-shaped ones when they execute. Importing this
+module is harmless — the hazards only manifest when the methods run.
+"""
+
+from __future__ import annotations
+
+import threading
+
+_PLANTED_REGISTRY: dict = {}
+_planted_lock = threading.Lock()  # guards: _PLANTED_REGISTRY
+
+
+class InvertedLocks:
+    """CL102 / lock-order inversion: ``ab`` nests a->b, ``ba`` nests b->a.
+
+    Two threads running ``ab()`` and ``ba()`` concurrently can each grab
+    their outer lock and wait forever on the other's. The runtime tracker
+    catches it from a *single* thread calling both in sequence, because
+    the order graph aggregates over time.
+    """
+
+    def __init__(self, lock_factory):
+        self.a_lock = lock_factory("planted.a")
+        self.b_lock = lock_factory("planted.b")
+
+    def ab(self) -> str:
+        with self.a_lock:
+            with self.b_lock:
+                return "ab"
+
+    def ba(self) -> str:
+        with self.b_lock:
+            with self.a_lock:
+                return "ba"
+
+
+class HoldWhileResult:
+    """CL103 / hold-while-blocked: blocks on ``Future.result()`` under a lock.
+
+    If the pool's worker (or anything the future depends on) ever needs
+    ``_lock``, this deadlocks; even when it does not, every other waiter
+    on ``_lock`` stalls behind the pool's scheduling latency.
+    """
+
+    def __init__(self, lock_factory):
+        self._lock = lock_factory("planted.result")
+
+    def fetch(self, pool) -> int:
+        with self._lock:
+            fut = pool.submit(lambda: 42)
+            return fut.result()
+
+
+class UnguardedCounter:
+    """CL101 / guarded attribute outside its lock: ``bump`` skips the lock."""
+
+    def __init__(self, lock_factory=threading.Lock):
+        self._lock = lock_factory()  # guards: _count
+        self._count = 0
+
+    def bump(self) -> None:
+        self._count += 1
+
+    def read(self) -> int:
+        with self._lock:
+            return self._count
+
+
+def register_unsafely(key, value) -> None:
+    """CL104 / unguarded module state: mutates the dict lock-free."""
+    _PLANTED_REGISTRY[key] = value
+
+
+def register_safely(key, value) -> None:
+    """The compliant twin of :func:`register_unsafely` (no finding)."""
+    with _planted_lock:
+        _PLANTED_REGISTRY[key] = value

@@ -8,9 +8,10 @@ import os
 import repro
 from repro.cli import main
 
-from tests.analysis import planted_kernels
+from tests.analysis import planted_host, planted_kernels
 
 PLANTED = planted_kernels.__file__
+PLANTED_HOST = planted_host.__file__
 PRIMITIVES = os.path.join(os.path.dirname(repro.__file__), "gpu", "primitives.py")
 
 
@@ -46,3 +47,40 @@ def test_select_filter(capsys):
 def test_ignore_all_rules_passes(capsys):
     rules = ",".join(("KL101", "KL102", "KL103", "KL201", "KL202"))
     assert main(["analyze", "--ignore", rules, PLANTED]) == 0
+
+
+def test_host_leg_flags_planted_host_bugs(capsys):
+    assert main(["analyze", "--host", PLANTED_HOST]) == 1
+    out = capsys.readouterr().out
+    for rule in ("CL101", "CL102", "CL103", "CL104"):
+        assert rule in out
+
+
+def test_host_leg_ignores_device_rules_and_vice_versa(capsys):
+    # The planted kernels contain no lock code; the planted host code
+    # contains no kernels — each leg only sees its own rule family.
+    assert main(["analyze", "--host", PLANTED]) == 0
+    capsys.readouterr()
+    assert main(["analyze", "--device", PLANTED_HOST]) == 0
+
+
+def test_all_merges_both_rule_families(capsys):
+    assert main(["analyze", "--all", "--format", "json",
+                 PLANTED, PLANTED_HOST]) == 1
+    data = json.loads(capsys.readouterr().out)
+    rules = {entry["rule"] for entry in data}
+    assert any(r.startswith("KL") for r in rules)
+    assert any(r.startswith("CL") for r in rules)
+
+
+def test_select_spans_rule_families(capsys):
+    assert main(["analyze", "--all", "--select", "KL101,CL102",
+                 PLANTED, PLANTED_HOST]) == 1
+    out = capsys.readouterr().out
+    assert "KL101" in out and "CL102" in out
+    assert "KL201" not in out and "CL103" not in out
+
+
+def test_shipped_package_passes_the_full_gate(capsys):
+    """What CI's merged-report step runs must stay green."""
+    assert main(["analyze", "--all", os.path.dirname(repro.__file__)]) == 0

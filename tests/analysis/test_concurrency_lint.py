@@ -1,0 +1,321 @@
+"""Static lock-discipline lint: planted bugs, rule semantics, suppression."""
+
+from __future__ import annotations
+
+import os
+import textwrap
+from collections import Counter
+
+import repro
+from repro.analysis.concurrency_lint import (
+    CL_RULES,
+    lint_host_file,
+    lint_host_paths,
+    lint_host_source,
+)
+
+HERE = os.path.dirname(__file__)
+PLANTED = os.path.join(HERE, "planted_host.py")
+
+
+def lint(src: str, path: str = "mod.py"):
+    return lint_host_source(textwrap.dedent(src), path)
+
+
+class TestPlantedHost:
+    def test_every_rule_fires_exactly_once(self):
+        findings = lint_host_file(PLANTED)
+        assert Counter(f.rule for f in findings) == {
+            "CL101": 1, "CL102": 1, "CL103": 1, "CL104": 1,
+        }
+
+    def test_severities_match_the_catalogue(self):
+        for f in lint_host_file(PLANTED):
+            assert f.severity == CL_RULES[f.rule][0]
+
+    def test_compliant_twins_stay_clean(self):
+        scopes = {f.scope for f in lint_host_file(PLANTED)}
+        assert "register_safely" not in scopes
+        assert "UnguardedCounter.read" not in scopes
+
+    def test_findings_carry_provenance(self):
+        for f in lint_host_file(PLANTED):
+            assert f.path == PLANTED
+            assert f.line > 0
+            assert f.format().startswith(f"{PLANTED}:{f.line}:")
+
+
+class TestCL101:
+    SRC = """
+    import threading
+
+    class Cache:
+        def __init__(self):
+            self._lock = threading.Lock()  # guards: _items
+            self._items = []
+
+        def bad(self):
+            return len(self._items)
+
+        def good(self):
+            with self._lock:
+                return len(self._items)
+    """
+
+    def test_unguarded_access_flagged_guarded_not(self):
+        findings = lint(self.SRC)
+        assert [f.rule for f in findings] == ["CL101"]
+        assert findings[0].scope == "Cache.bad"
+        assert "_items" in findings[0].message
+
+    def test_constructor_is_exempt(self):
+        # ``self._items = []`` in __init__ is itself an unguarded access.
+        assert not any(
+            f.scope == "Cache.__init__" for f in lint(self.SRC)
+        )
+
+    def test_write_access_flagged_too(self):
+        findings = lint("""
+        import threading
+
+        class Cache:
+            def __init__(self):
+                self._lock = threading.Lock()  # guards: _items
+                self._items = []
+
+            def reset(self):
+                self._items = []
+        """)
+        assert [f.rule for f in findings] == ["CL101"]
+        assert findings[0].scope == "Cache.reset"
+
+
+class TestCL102:
+    def test_module_lock_inversion(self):
+        findings = lint("""
+        import threading
+
+        alpha_lock = threading.Lock()
+        beta_lock = threading.Lock()
+
+        def one():
+            with alpha_lock:
+                with beta_lock:
+                    pass
+
+        def two():
+            with beta_lock:
+                with alpha_lock:
+                    pass
+        """)
+        assert [f.rule for f in findings] == ["CL102"]
+        assert "alpha_lock" in findings[0].message
+        assert "beta_lock" in findings[0].message
+
+    def test_consistent_order_is_clean(self):
+        assert lint("""
+        import threading
+
+        alpha_lock = threading.Lock()
+        beta_lock = threading.Lock()
+
+        def one():
+            with alpha_lock:
+                with beta_lock:
+                    pass
+
+        def two():
+            with alpha_lock:
+                with beta_lock:
+                    pass
+        """) == []
+
+    def test_three_lock_chain_cycle(self):
+        findings = lint("""
+        import threading
+
+        a_lock = threading.Lock()
+        b_lock = threading.Lock()
+        c_lock = threading.Lock()
+
+        def f():
+            with a_lock:
+                with b_lock:
+                    pass
+
+        def g():
+            with b_lock:
+                with c_lock:
+                    pass
+
+        def h():
+            with c_lock:
+                with a_lock:
+                    pass
+        """)
+        assert [f.rule for f in findings] == ["CL102"]
+
+    def test_cross_file_inversion(self, tmp_path):
+        # Each file's nesting is locally consistent; only the aggregated
+        # order graph (what two modules sharing one Engine do) cycles.
+        ab = tmp_path / "engine_query.py"
+        ab.write_text(textwrap.dedent("""
+            class Engine:
+                def query(self):
+                    with self.cache_lock:
+                        with self.stats_lock:
+                            pass
+        """))
+        ba = tmp_path / "engine_maintenance.py"
+        ba.write_text(textwrap.dedent("""
+            class Engine:
+                def compact(self):
+                    with self.stats_lock:
+                        with self.cache_lock:
+                            pass
+        """))
+        assert lint_host_file(str(ab)) == []
+        assert lint_host_file(str(ba)) == []
+        findings = lint_host_paths([str(tmp_path)])
+        assert [f.rule for f in findings] == ["CL102"]
+        assert "engine_query.py" in findings[0].message
+        assert "engine_maintenance.py" in findings[0].message
+
+
+class TestCL103:
+    def test_future_result_under_lock(self):
+        findings = lint("""
+        import threading
+
+        work_lock = threading.Lock()
+
+        def fetch(pool):
+            with work_lock:
+                return pool.submit(min, 1, 2).result()
+        """)
+        assert [f.rule for f in findings] == ["CL103"]
+        assert "Future.result()" in findings[0].message
+
+    def test_queue_get_with_timeout_under_lock(self):
+        findings = lint("""
+        import threading
+
+        work_lock = threading.Lock()
+
+        def drain(q):
+            with work_lock:
+                return q.get(timeout=1.0)
+        """)
+        assert [f.rule for f in findings] == ["CL103"]
+
+    def test_dict_get_and_str_join_are_not_blocking(self):
+        assert lint("""
+        import threading
+
+        work_lock = threading.Lock()
+
+        def fine(mapping, parts):
+            with work_lock:
+                return mapping.get("key"), ", ".join(parts)
+        """) == []
+
+    def test_blocking_call_without_lock_is_fine(self):
+        assert lint("""
+        def fetch(pool):
+            return pool.submit(min, 1, 2).result()
+        """) == []
+
+
+class TestCL104:
+    SRC = """
+    import threading
+
+    _cache = {}
+    _cache_lock = threading.Lock()  # guards: _cache
+    _total = 0
+
+    def bad(key, value):
+        _cache[key] = value
+
+    def good(key, value):
+        with _cache_lock:
+            _cache[key] = value
+
+    def bump():
+        global _total
+        _total += 1
+    """
+
+    def test_unguarded_mutations_flagged(self):
+        findings = lint(self.SRC)
+        assert Counter(f.rule for f in findings) == {"CL104": 2}
+        assert {f.scope for f in findings} == {"bad", "bump"}
+
+    def test_guarded_mutation_is_clean(self):
+        assert not any(f.scope == "good" for f in lint(self.SRC))
+
+    def test_mutator_method_call_flagged(self):
+        findings = lint("""
+        import threading
+
+        _seen = set()
+        _seen_lock = threading.Lock()
+
+        def remember(item):
+            _seen.add(item)
+        """)
+        assert [f.rule for f in findings] == ["CL104"]
+
+
+class TestSuppression:
+    def test_rule_scoped_suppression(self):
+        findings = lint("""
+        import threading
+
+        class Cache:
+            def __init__(self):
+                self._lock = threading.Lock()  # guards: _items
+                self._items = []
+
+            def peek(self):
+                return len(self._items)  # conc: ignore[CL101] - atomic len
+        """)
+        assert findings == []
+
+    def test_wrong_rule_in_bracket_does_not_suppress(self):
+        findings = lint("""
+        import threading
+
+        class Cache:
+            def __init__(self):
+                self._lock = threading.Lock()  # guards: _items
+                self._items = []
+
+            def peek(self):
+                return len(self._items)  # conc: ignore[CL104]
+        """)
+        assert [f.rule for f in findings] == ["CL101"]
+
+    def test_bare_suppression_covers_any_rule(self):
+        findings = lint("""
+        import threading
+
+        _cache = {}
+
+        def bad(key, value):
+            _cache[key] = value  # conc: ignore - single-threaded tool
+        """)
+        assert findings == []
+
+
+class TestSelectIgnore:
+    def test_select_and_ignore(self):
+        findings = lint_host_paths([PLANTED], select=["CL101", "CL102"])
+        assert {f.rule for f in findings} == {"CL101", "CL102"}
+        findings = lint_host_paths([PLANTED], ignore=["CL103"])
+        assert "CL103" not in {f.rule for f in findings}
+
+
+def test_shipped_package_passes_the_host_gate():
+    """Every suppression in src/repro is justified; no open findings."""
+    assert lint_host_paths([os.path.dirname(repro.__file__)]) == []

@@ -8,8 +8,13 @@ from hypothesis import settings as hyp_settings
 from hypothesis import strategies as st
 
 # Kernel tests can take the `sanitized_device` / `simt_sanitizer` fixtures to
-# run launches under the SIMT race detector (docs/analysis.md).
-pytest_plugins = ["repro.analysis.pytest_sanitizer"]
+# run launches under the SIMT race detector (docs/analysis.md); host tests
+# can take `lock_tracker` (or set REPRO_LOCK_TRACKER=1 — CI's
+# tests-locktracker leg) to run under the runtime lock-order sanitizer.
+pytest_plugins = [
+    "repro.analysis.pytest_sanitizer",
+    "repro.analysis.pytest_lock_tracker",
+]
 
 # NumPy batch sizes make per-example wall time noisy; correctness, not
 # latency, is what these properties check.

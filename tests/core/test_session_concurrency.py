@@ -150,6 +150,43 @@ class TestIntrospectionUnderLoad:
         assert not failures
         assert all(r.as_tuples() == expected for r in results)
 
+    def test_drop_indexes_prunes_build_locks(self, reference):
+        # Regression: the per-row build locks used to accumulate one Lock
+        # per row ever touched for the lifetime of the session.
+        session = MemSession(reference, min_length=30, blocks_per_tile=1)
+        for row in range(session.n_rows):
+            session.row_index(row)
+        assert len(session._build_locks) == session.n_rows
+        session.drop_indexes()
+        assert session._build_locks == {}
+        # The cache repopulates (and re-grows locks) on next touch.
+        session.row_index(0)
+        assert len(session._build_locks) == 1
+
+    def test_drop_indexes_keeps_held_builder_locks(self, reference):
+        # An in-flight builder's lock must survive the prune so its
+        # waiters still serialize on it.
+        session = MemSession(reference, min_length=30, blocks_per_tile=1)
+        session.row_index(0)
+        session.row_index(1)
+        lock0 = session._build_locks[0]
+        lock0.acquire()  # simulate a builder mid-flight on row 0
+        try:
+            session.drop_indexes()
+            assert session._build_locks == {0: lock0}
+        finally:
+            lock0.release()
+        session.drop_indexes()
+        assert session._build_locks == {}
+
+    def test_repeated_drop_cycles_do_not_grow_locks(self, reference):
+        session = MemSession(reference, min_length=30, blocks_per_tile=1)
+        for _ in range(3):
+            for row in range(session.n_rows):
+                session.row_index(row)
+            session.drop_indexes()
+        assert session._build_locks == {}
+
     def test_plain_get_put_protocol_still_works(self, reference):
         session = MemSession(reference, min_length=30)
         assert session.get(0) is None
