@@ -35,6 +35,7 @@ import bench_fig6_seed_histogram
 import bench_fig7_load_balancing
 import bench_lock_contention
 import bench_sa_builders
+import bench_serve
 import bench_session_reuse
 import bench_table2_datasets
 import bench_table3_index_build
@@ -55,6 +56,7 @@ TARGETS = [
     ("ablation_devices", bench_ablation_devices.generate_series),
     ("session_reuse", bench_session_reuse.generate_series),
     ("batch_throughput", bench_batch_throughput.generate_series),
+    ("serve", bench_serve.generate_series),
     ("lock_contention", bench_lock_contention.generate_series),
 ]
 

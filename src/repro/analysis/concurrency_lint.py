@@ -21,6 +21,12 @@ Module-level locks use the same convention::
 
     _session_cache_lock = threading.Lock()  # guards: _session_cache
 
+Both ``threading`` and ``multiprocessing`` lock constructors are
+recognized (``Lock()``/``RLock()`` by final call name, so ``mp.Lock()``
+and ``get_context("spawn").RLock()`` count), as are the injectable
+``new_lock``/``new_rlock`` factories; a lock created that way is tracked
+even when its variable name does not contain "lock".
+
 Rules
 -----
 
@@ -82,6 +88,10 @@ CL_RULES = {
 }
 
 _GUARDS_RE = re.compile(r"#\s*guards:\s*([A-Za-z0-9_,\s]+)")
+#: Constructor final names that plainly build a lock. Matched on the last
+#: attribute of the call chain, so ``threading.Lock()``,
+#: ``multiprocessing.Lock()``, ``mp.RLock()`` and
+#: ``get_context("spawn").Lock()`` all qualify.
 _LOCK_CTORS = {"Lock", "RLock"}
 _LOCK_FACTORIES = {"new_lock", "new_rlock", "lock", "rlock"}
 _MUTABLE_CTORS = {
@@ -209,6 +219,10 @@ class _ModuleAnalysis:
         #: module-level mutable names (containers, or global-rebound scalars)
         self.module_mutables: set[str] = set()
         self.module_names: set[str] = set()
+        #: class name -> attr names assigned from a lock constructor
+        #: (``self._mu = multiprocessing.Lock()``); lets :meth:`lock_key`
+        #: recognize locks whose names do not contain "lock".
+        self.class_lock_attrs: dict[str, set[str]] = {}
         self._collect_module_state()
 
     # -- annotation / declaration harvesting --------------------------------
@@ -280,13 +294,17 @@ class _ModuleAnalysis:
         ``with self.X:`` inside class C keys as ``C.X``; a bare name keys
         as ``<module>.N`` when module-level, else ``<owner>.N``. Identity
         is by *name* (lockdep-style lock classes), so e.g. every per-row
-        build lock of a session is one class.
+        build lock of a session is one class. A name qualifies either by
+        containing "lock" or by having been assigned from a recognized
+        lock constructor (``threading``/``multiprocessing`` ``Lock`` /
+        ``RLock``, or a ``new_lock``-style factory).
         """
         if isinstance(expr, ast.Attribute) and isinstance(expr.value, ast.Name):
             if expr.value.id == "self" and owner:
                 name = expr.attr
-                if "lock" in name.lower():
-                    return f"{owner.split('.', 1)[0]}.{name}"
+                cls = owner.split(".", 1)[0]
+                if "lock" in name.lower() or name in self.class_lock_attrs.get(cls, ()):
+                    return f"{cls}.{name}"
             return None
         if isinstance(expr, ast.Name):
             name = expr.id
@@ -474,6 +492,10 @@ class _ClassChecker:
                         and target.value.id == "self"
                     ):
                         continue
+                    if _looks_like_lock_ctor(node.value):
+                        self.m.class_lock_attrs.setdefault(
+                            self.cls.name, set()
+                        ).add(target.attr)
                     guarded = self.m._guards_on_line(node.lineno)
                     if guarded:
                         for attr in guarded:

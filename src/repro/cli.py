@@ -9,6 +9,9 @@ Subcommands mirror how the paper's tools are driven:
   one warm session; see docs/architecture.md "Batched extraction").
 - ``gpumem map ref.fa reads.fa``              — MEM-seeded read mapping of
   a (streamed) read set, batched the same way.
+- ``gpumem serve ref.fa [requests.jsonl]``    — long-lived JSONL server over
+  one warm reference (``--tier process`` for multi-core; bursts above
+  ``--admission-limit`` shed with a structured error, EOF drains).
 - ``gpumem match ... --trace out.json``       — record a Chrome-trace of the
   run (``--metrics`` dumps counters; see docs/observability.md).
 - ``gpumem index ref.fa -l 50``               — time/report the index build.
@@ -51,12 +54,14 @@ def _add_match_args(p: argparse.ArgumentParser) -> None:
                    help="indexing step Δs (default: the Eq. 1 maximum)")
     p.add_argument("--invalid", choices=("error", "skip", "random"),
                    default="random", help="non-ACGT letter policy")
-    p.add_argument("--executor", choices=("serial", "threads", "banded"),
+    p.add_argument("--executor",
+                   choices=("serial", "threads", "banded", "process"),
                    default="serial",
                    help="row executor of the staged pipeline (default serial)")
     p.add_argument("--workers", type=int, default=None, metavar="N",
-                   help="thread count (--executor threads) or band count "
-                        "(--executor banded); default per executor")
+                   help="thread count (--executor threads), band count "
+                        "(--executor banded) or process count "
+                        "(--executor process); default per executor")
     p.add_argument("--trace", metavar="PATH", default=None,
                    help="record a Chrome-trace JSON of the run "
                         "(chrome://tracing / Perfetto; inspect with "
@@ -252,6 +257,101 @@ def cmd_map(args) -> int:
               f"index rows cached: {info['n_cached']}", file=sys.stderr)
     _emit_observability(args, tracer)
     return 1 if n_errors else 0
+
+
+def cmd_serve(args) -> int:
+    import json
+    from collections import deque
+
+    from repro.core.serve import MemServer
+    from repro.errors import ServerOverloadedError
+
+    reference = _read_single_fasta(args.reference, args.invalid)
+    tracer = _make_cli_tracer(args)
+
+    def emit(obj) -> None:
+        print(json.dumps(obj), flush=True)
+
+    # Submission-order output: completed futures are flushed from the head
+    # of the window opportunistically after each submit and exhaustively at
+    # EOF (the drain), so one slow request never reorders the stream.
+    pending: deque = deque()
+
+    def flush_ready(block: bool = False) -> None:
+        while pending and (block or pending[0][1].done()):
+            rid, future = pending.popleft()
+            res = future.result()
+            if res.ok:
+                line = {
+                    "id": rid, "ok": True, "n_mems": len(res.value),
+                    "seconds": round(res.seconds, 6),
+                }
+                if not args.count_only:
+                    line["mems"] = [
+                        [int(r) + 1, int(q) + 1, int(length)]
+                        for r, q, length in res.value
+                    ]
+            else:
+                line = {"id": rid, "ok": False,
+                        "error": str(res.error) or repr(res.error)}
+            emit(line)
+
+    n_shed = 0
+    stream = sys.stdin if args.requests in (None, "-") else open(args.requests)
+    try:
+        with MemServer(
+            reference,
+            tier=args.tier,
+            workers=args.workers,
+            max_in_flight=args.max_in_flight,
+            admission_limit=args.admission_limit,
+            tracer=tracer,
+            min_length=args.min_length,
+            seed_length=min(args.seed_length, args.min_length),
+            step=args.step,
+        ) as server:
+            for n, raw in enumerate(stream):
+                raw = raw.strip()
+                if not raw:
+                    continue
+                if raw.startswith("{"):
+                    try:
+                        req = json.loads(raw)
+                    except ValueError as exc:
+                        emit({"id": None, "ok": False,
+                              "error": f"bad request line: {exc}"})
+                        continue
+                    rid = req.get("id", n)
+                    query = req.get("query")
+                    if query is None:
+                        emit({"id": rid, "ok": False,
+                              "error": "missing 'query' field"})
+                        continue
+                else:
+                    rid, query = n, raw
+                try:
+                    future = server.submit(query, label=str(rid))
+                except ServerOverloadedError as exc:
+                    n_shed += 1
+                    emit({"id": rid, "ok": False, "shed": True,
+                          "error": "server overloaded",
+                          "queue_depth": exc.queue_depth,
+                          "admission_limit": exc.admission_limit})
+                    continue
+                pending.append((rid, future))
+                flush_ready()
+            flush_ready(block=True)  # EOF: wait for every admitted request
+            final = server.close()   # graceful drain (idempotent)
+    finally:
+        if stream is not sys.stdin:
+            stream.close()
+    if args.verbose:
+        print(f"# served: {final['completed']}  errors: {final['errors']}  "
+              f"shed: {n_shed}  cancelled: {final['cancelled']}  "
+              f"drain: {final['drain_seconds']:.3f}s  tier: {final['tier']}",
+              file=sys.stderr)
+    _emit_observability(args, tracer)
+    return 0
 
 
 def cmd_index(args) -> int:
@@ -484,7 +584,8 @@ def main(argv=None) -> int:
                         "(default 200)")
     p.add_argument("--invalid", choices=("error", "skip", "random"),
                    default="random", help="non-ACGT letter policy")
-    p.add_argument("--executor", choices=("serial", "threads", "banded"),
+    p.add_argument("--executor",
+                   choices=("serial", "threads", "banded", "process"),
                    default="serial",
                    help="row executor inside each query (default serial)")
     p.add_argument("--workers", type=int, default=None, metavar="N",
@@ -499,6 +600,46 @@ def main(argv=None) -> int:
                    help="print the run's metrics registry to stderr")
     p.add_argument("-v", "--verbose", action="store_true")
     p.set_defaults(fn=cmd_map)
+
+    p = sub.add_parser(
+        "serve",
+        help="long-lived MEM server: JSONL requests in (stdin or file), "
+             "JSONL results out; admission control sheds bursts with a "
+             "structured error and EOF drains gracefully",
+    )
+    p.add_argument("reference", help="reference FASTA file")
+    p.add_argument("requests", nargs="?", default=None,
+                   help="JSONL request file (default: stdin). Each line is "
+                        "either {\"id\": ..., \"query\": \"ACGT...\"} or a "
+                        "bare sequence string")
+    p.add_argument("-l", "--min-length", type=int, default=20,
+                   help="minimum MEM length L (default 20)")
+    p.add_argument("-s", "--seed-length", type=int, default=10,
+                   help="indexing seed length ℓs (default 10)")
+    p.add_argument("--step", type=int, default=None,
+                   help="indexing step Δs (default: the Eq. 1 maximum)")
+    p.add_argument("--invalid", choices=("error", "skip", "random"),
+                   default="random",
+                   help="non-ACGT letter policy for the reference")
+    p.add_argument("--tier", choices=("thread", "process"), default="thread",
+                   help="execution substrate: in-process thread pool or the "
+                        "shared worker-process pool (default thread)")
+    p.add_argument("--workers", type=int, default=None, metavar="N",
+                   help="concurrent request executions (default: CPU count, "
+                        "capped at 8)")
+    p.add_argument("--max-in-flight", type=int, default=None, metavar="N",
+                   help="executing-request bound (default: workers)")
+    p.add_argument("--admission-limit", type=int, default=None, metavar="N",
+                   help="queued-but-not-executing bound; submissions beyond "
+                        "it are shed (default 2x max-in-flight)")
+    p.add_argument("--count-only", action="store_true",
+                   help="emit only MEM counts per request, not the triplets")
+    p.add_argument("--trace", metavar="PATH", default=None,
+                   help="record a Chrome-trace JSON of the serving run")
+    p.add_argument("--metrics", action="store_true",
+                   help="print the run's metrics registry to stderr")
+    p.add_argument("-v", "--verbose", action="store_true")
+    p.set_defaults(fn=cmd_serve)
 
     p = sub.add_parser("index", help="build (and time) the GPUMEM index only")
     _add_match_args(p)

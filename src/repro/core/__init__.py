@@ -12,8 +12,10 @@ Public surface:
 - :class:`~repro.core.pipeline.Pipeline` /
   :class:`~repro.core.pipeline.PipelineStats` — the staged extraction
   engine and its typed statistics.
-- Executors (:mod:`repro.core.executors`) — serial / thread-pool / banded
-  strategies over independent tile rows.
+- Executors (:mod:`repro.core.executors`) — serial / thread-pool / banded /
+  process strategies over independent tile rows.
+- :class:`~repro.core.serve.MemServer` — long-lived serving front end with
+  admission control and graceful drain (the ``gpumem serve`` engine).
 - :func:`~repro.core.reference.brute_force_mems` — independent ground truth.
 """
 
@@ -22,6 +24,7 @@ from repro.core.chaining import Chain, chain_anchors
 from repro.core.distance import distance_matrix, mem_coverage, mem_distance
 from repro.core.executors import (
     BandedExecutor,
+    ProcessPoolRowExecutor,
     SerialExecutor,
     ThreadPoolRowExecutor,
     make_executor,
@@ -32,6 +35,7 @@ from repro.core.multi_device import find_mems_multi_device
 from repro.core.params import GpuMemParams
 from repro.core.pipeline import Pipeline, PipelineStats
 from repro.core.reference import brute_force_mems
+from repro.core.serve import MemServer, ServeResult
 from repro.core.session import (
     MemSession,
     clear_session_cache,
@@ -62,7 +66,10 @@ __all__ = [
     "SerialExecutor",
     "ThreadPoolRowExecutor",
     "BandedExecutor",
+    "ProcessPoolRowExecutor",
     "make_executor",
+    "MemServer",
+    "ServeResult",
     "find_mums",
     "find_rare_mems",
     "find_mems_both_strands",

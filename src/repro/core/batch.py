@@ -8,9 +8,13 @@ a time, serializing the match stage even though its hot kernels release
 the GIL. :class:`BatchRunner` is that layer, shaped like an inference
 engine's batch scheduler over a warm model:
 
-- **query-level thread-pool parallelism** composed with the session's
-  row executors (rows parallelize *inside* a query, the runner
-  parallelizes *across* queries);
+- **query-level parallelism in two tiers** — ``tier="thread"`` (default)
+  composes a thread pool with the session's row executors (rows
+  parallelize *inside* a query, the runner parallelizes *across*
+  queries); ``tier="process"`` ships whole queries to the worker-process
+  pool of :mod:`repro.core.procpool` (true multi-core: workers attach to
+  the shared 2-bit reference by name and serve from their own warm
+  per-process sessions);
 - **bounded in-flight work** — submission blocks once ``max_in_flight``
   queries are pending, so a streaming producer (e.g.
   :func:`repro.sequence.fasta.iter_fasta` over a 10M-read file) is
@@ -41,17 +45,21 @@ from __future__ import annotations
 import os
 import time
 from collections import deque
-from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
-from dataclasses import dataclass, field
+from concurrent.futures import FIRST_COMPLETED, Future, ThreadPoolExecutor, wait
+from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Iterable, Iterator
 
 from repro.analysis.lock_tracker import new_lock
 from repro.core.params import GpuMemParams
-from repro.core.pipeline import as_codes
+from repro.core.pipeline import PipelineStats, as_codes
 from repro.core.session import MemSession
 from repro.errors import InvalidParameterError
 from repro.obs.tracer import Tracer, get_tracer
 from repro.sequence.fasta import FastaRecord
+from repro.types import MatchSet
+
+#: Query-dispatch tiers of :class:`BatchRunner`.
+BATCH_TIERS = ("thread", "process")
 
 
 @dataclass(frozen=True)
@@ -135,9 +143,17 @@ class BatchRunner:
         (``min_length=...``, ``executor=...``, ...). Invalid alongside an
         existing session.
     workers:
-        Query-level thread-pool width. This composes with the session's
-        row executor: each in-flight query still fans its tile rows out
-        through the executor it was configured with.
+        Query-level pool width. In the thread tier this composes with the
+        session's row executor: each in-flight query still fans its tile
+        rows out through the executor it was configured with. In the
+        process tier it is the worker-process count (rows run serially
+        inside each worker).
+    tier:
+        ``"thread"`` (default) runs queries on an in-process pool;
+        ``"process"`` ships each query to the shared
+        :mod:`repro.core.procpool` worker pool. The process tier supports
+        only the default ``find_mems`` per-query function — a custom
+        ``fn`` is a closure that cannot cross the process boundary.
     max_in_flight:
         Backpressure bound — at most this many queries are submitted but
         unfinished at any moment (default ``2 * workers``). Submission
@@ -164,6 +180,7 @@ class BatchRunner:
         workers: int | None = None,
         max_in_flight: int | None = None,
         errors: str = "isolate",
+        tier: str = "thread",
         tracer: Tracer | None = None,
         lock_factory=None,
         **kwargs,
@@ -199,6 +216,21 @@ class BatchRunner:
                 f"errors must be 'isolate' or 'raise', got {errors!r}"
             )
         self.errors = errors
+        if tier not in BATCH_TIERS:
+            raise InvalidParameterError(
+                f"tier must be one of {BATCH_TIERS}, got {tier!r}"
+            )
+        self.tier = tier
+        self._proc_spec = None
+        if tier == "process":
+            # Publish the reference once; per-query submissions then only
+            # pickle the tiny locator + query bytes.
+            from repro.core import procpool
+
+            self._proc_spec = procpool.make_spec(
+                self.session.reference, self.session.params,
+                use_cache=True, assume_warm=True, tracer=self.tracer,
+            )
         self._in_flight = 0
         self._in_flight_lock = (lock_factory or new_lock)("batch.in_flight")  # guards: _in_flight
 
@@ -220,6 +252,11 @@ class BatchRunner:
         ``result.index`` to re-sort). Either way at most
         :attr:`max_in_flight` queries are pending at once.
         """
+        if fn is not None and self.tier == "process":
+            raise InvalidParameterError(
+                "the process tier runs only the default find_mems per-query "
+                "function; a custom fn cannot cross the process boundary"
+            )
         if fn is None:
             fn = self._find_mems
         return self._drive(_as_items(queries), fn, ordered)
@@ -237,6 +274,11 @@ class BatchRunner:
         values with fail-fast semantics (``ReadMapper.map_reads``,
         ``distance_matrix``).
         """
+        if self.tier == "process":
+            raise InvalidParameterError(
+                "the process tier runs only the default find_mems per-query "
+                "function; a custom fn cannot cross the process boundary"
+            )
         out = []
         for result in self._drive(_as_items(queries), fn, ordered=True,
                                   errors="raise"):
@@ -263,11 +305,21 @@ class BatchRunner:
         with tracer.span(
             "batch.run", cat="batch",
             workers=self.workers, max_in_flight=self.max_in_flight,
-            ordered=ordered,
+            ordered=ordered, tier=self.tier,
         ) as run_span:
-            with ThreadPoolExecutor(
-                max_workers=self.workers, thread_name_prefix="gpumem-batch"
-            ) as pool:
+            if self.tier == "process":
+                # The process pool is shared and long-lived (see
+                # repro.core.procpool); it outlives this run on purpose.
+                from contextlib import nullcontext
+
+                from repro.core import procpool
+
+                pool_cm = nullcontext(procpool.get_pool(self.workers))
+            else:
+                pool_cm = ThreadPoolExecutor(
+                    max_workers=self.workers, thread_name_prefix="gpumem-batch"
+                )
+            with pool_cm as pool:
                 if ordered:
                     results = self._ordered(pool, items, fn)
                 else:
@@ -289,10 +341,10 @@ class BatchRunner:
         window: deque = deque()
         for item in items:
             while len(window) >= self.max_in_flight:
-                yield window.popleft().result()
+                yield self._result_of(window.popleft())
             window.append(self._submit(pool, fn, item))
         while window:
-            yield window.popleft().result()
+            yield self._result_of(window.popleft())
 
     def _as_completed(self, pool, items, fn):
         """Same bounded window; yield each result as soon as it finishes."""
@@ -301,12 +353,12 @@ class BatchRunner:
             while len(pending) >= self.max_in_flight:
                 done, pending = wait(pending, return_when=FIRST_COMPLETED)
                 for future in done:
-                    yield future.result()
+                    yield self._result_of(future)
             pending.add(self._submit(pool, fn, item))
         while pending:
             done, pending = wait(pending, return_when=FIRST_COMPLETED)
             for future in done:
-                yield future.result()
+                yield self._result_of(future)
 
     def _submit(self, pool, fn, item: _Item):
         metrics = self.tracer.metrics
@@ -316,7 +368,72 @@ class BatchRunner:
             self._in_flight += 1
             if metrics.enabled:
                 metrics.gauge("batch.in_flight").set(self._in_flight)
+        if self.tier == "process":
+            return self._submit_process(pool, item)
         return pool.submit(self._run_one, fn, item)
+
+    def _submit_process(self, pool, item: _Item) -> Future:
+        """Ship one query to the worker-process pool.
+
+        The query is encoded parent-side so a malformed record resolves to
+        an error payload immediately instead of poisoning a worker; good
+        records cross the boundary as raw 2-bit code bytes riding a spec
+        that references the already-published shared reference.
+        """
+        from repro.core import procpool
+
+        try:
+            codes = as_codes(item.query)
+        except Exception as exc:
+            future: Future = Future()
+            future.set_result({
+                "ok": False, "index": item.index, "label": item.label,
+                "error": exc, "seconds": 0.0,
+            })
+            return future
+        spec = replace(self._proc_spec, query=codes.tobytes())
+        return pool.submit(procpool.run_query_task, spec, item.index, item.label)
+
+    def _result_of(self, future: Future) -> BatchResult | BatchError:
+        """Resolve one future into a result object.
+
+        Thread-tier futures already hold :class:`BatchResult` /
+        :class:`BatchError` (accounting happened in ``_run_one``).
+        Process-tier futures hold the worker's plain payload dict; convert
+        it here and do the in-flight/metrics accounting the worker could
+        not (its tracer is not ours).
+        """
+        result = future.result()
+        if isinstance(result, (BatchResult, BatchError)):
+            return result
+        payload = result
+        seconds = payload["seconds"]
+        out: BatchResult | BatchError
+        if payload["ok"]:
+            value = MatchSet(
+                payload["array"],
+                stats=PipelineStats.from_dict(payload["stats"]),
+            )
+            out = BatchResult(
+                index=payload["index"], label=payload["label"], value=value,
+                seconds=seconds,
+            )
+        else:
+            out = BatchError(
+                index=payload["index"], label=payload["label"],
+                error=payload["error"], seconds=seconds,
+            )
+        metrics = self.tracer.metrics
+        with self._in_flight_lock:
+            self._in_flight -= 1
+            if metrics.enabled:
+                metrics.gauge("batch.in_flight").set(self._in_flight)
+        if metrics.enabled:
+            outcome = "ok" if out.ok else "error"
+            metrics.counter("batch.queries", outcome=outcome).inc()
+            metrics.counter("proc.queries", outcome=outcome).inc()
+            metrics.histogram("batch.query_seconds").observe(seconds)
+        return out
 
     def _run_one(self, fn, item: _Item) -> BatchResult | BatchError:
         tracer = self.tracer

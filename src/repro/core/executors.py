@@ -13,7 +13,12 @@ and matches its own tiles, and rows only meet again at the host merge
 - :class:`BandedExecutor` — contiguous row bands processed one band at a
   time with per-band timing, modelling ``D`` devices each owning a band
   (cf. SALoBa's workload-balance-aware scheduling of independent GPU work
-  units). :mod:`repro.core.multi_device` is a thin wrapper over this.
+  units). :mod:`repro.core.multi_device` is a thin wrapper over this;
+- :class:`ProcessPoolRowExecutor` — row bands on a pool of worker
+  *processes* (true multi-core; breaks the GIL wall). Work crosses the
+  process boundary as a picklable :class:`repro.core.procpool.RowTaskSpec`
+  rather than a closure, so this executor sets ``needs_spec`` and the
+  pipeline dispatches through :meth:`~ProcessPoolRowExecutor.map_row_specs`.
 
 Executors are deliberately ignorant of what a "row" computes — they map a
 callable over row ids and hand back results in row order, so the same
@@ -34,7 +39,7 @@ from repro.errors import InvalidParameterError
 from repro.obs.tracer import NULL_TRACER
 
 #: Names accepted by :func:`make_executor` (and ``GpuMemParams.executor``).
-EXECUTOR_NAMES = ("serial", "threads", "banded")
+EXECUTOR_NAMES = ("serial", "threads", "banded", "process")
 
 
 def partition_rows(n_rows: int, n_devices: int) -> list[list[int]]:
@@ -65,6 +70,11 @@ class RowExecutor:
     #: Observability hook; the owning :class:`~repro.core.pipeline.Pipeline`
     #: replaces this with its own tracer so executor spans join the run.
     tracer = NULL_TRACER
+
+    #: True when rows must be dispatched as a picklable
+    #: :class:`repro.core.procpool.RowTaskSpec` (``map_row_specs`` /
+    #: ``build_row_specs``) because a closure cannot cross the boundary.
+    needs_spec = False
 
     def map_rows(self, fn: Callable[[int], object], rows: Sequence[int]) -> list:
         raise NotImplementedError
@@ -189,15 +199,115 @@ class BandedExecutor(RowExecutor):
         return f"BandedExecutor(n_bands={self.n_bands})"
 
 
+class ProcessPoolRowExecutor(RowExecutor):
+    """Row bands on a pool of worker processes (true multi-core).
+
+    Closures cannot cross a process boundary, so the pipeline hands this
+    executor a picklable :class:`repro.core.procpool.RowTaskSpec` instead
+    (``needs_spec``). Rows are dispatched as contiguous bands — one per
+    worker — to amortize the per-task IPC round trip; each worker attaches
+    to the shared 2-bit reference by name and serves rows from its own
+    warm per-process session (see :mod:`repro.core.procpool`).
+
+    ``map_rows`` with a raw callable degrades to in-process serial
+    execution: it is only reached by callers outside the spec-aware
+    pipeline paths, where correctness beats parallelism.
+    """
+
+    name = "process"
+    needs_spec = True
+
+    def __init__(self, workers: int | None = None, lock_factory=None):
+        if workers is not None and workers < 1:
+            raise InvalidParameterError(f"workers must be >= 1, got {workers}")
+        self.workers = int(workers) if workers else min(8, os.cpu_count() or 1)
+        self._lock = (lock_factory or new_lock)("executor.stats")  # guards: _n_rows_done
+        self._n_rows_done = 0
+
+    def map_rows(self, fn, rows):
+        rows = list(rows)
+        with self.tracer.span(
+            "executor:process-fallback", cat="executor", n_rows=len(rows)
+        ):
+            return [fn(row) for row in rows]
+
+    def _bands(self, rows: list) -> list[list]:
+        n_bands = min(self.workers, len(rows))
+        return [
+            [rows[i] for i in band]
+            for band in partition_rows(len(rows), n_bands)
+            if band
+        ]
+
+    def map_row_specs(self, spec, rows: Sequence[int]) -> list:
+        """Run ``spec`` over ``rows`` on the worker pool; row-order results."""
+        from repro.core import procpool
+
+        rows = list(rows)
+        with self.tracer.span(
+            "executor:process", cat="executor",
+            n_rows=len(rows), workers=self.workers,
+        ) as sp:
+            if not rows:
+                return []
+            pool = procpool.get_pool(self.workers)
+            bands = self._bands(rows)
+            futures = [
+                pool.submit(procpool.run_row_band, spec, band) for band in bands
+            ]
+            out: list = []
+            for future in futures:
+                out.extend(future.result())
+            sp.set(n_bands=len(bands))
+        with self._lock:
+            self._n_rows_done += len(out)
+        metrics = self.tracer.metrics
+        if metrics.enabled:
+            metrics.counter("proc.rows").inc(len(out))
+            metrics.counter("proc.bands").inc(len(bands))
+        return out
+
+    def build_row_specs(self, spec, rows: Sequence[int]) -> list:
+        """Index-only builds for ``rows``: ``(row, index, seconds)`` triples."""
+        from repro.core import procpool
+
+        rows = list(rows)
+        with self.tracer.span(
+            "executor:process-build", cat="executor",
+            n_rows=len(rows), workers=self.workers,
+        ):
+            if not rows:
+                return []
+            pool = procpool.get_pool(self.workers)
+            futures = [
+                pool.submit(procpool.build_rows, spec, band)
+                for band in self._bands(rows)
+            ]
+            out: list = []
+            for future in futures:
+                out.extend(future.result())
+        with self._lock:
+            self._n_rows_done += len(out)
+        return out
+
+    def annotate(self, stats) -> None:
+        stats["workers"] = self.workers
+        with self._lock:
+            stats["rows_completed"] = self._n_rows_done
+
+    def __repr__(self) -> str:
+        return f"ProcessPoolRowExecutor(workers={self.workers})"
+
+
 def make_executor(
     name: str, workers: int | None = None, lock_factory=None
 ) -> RowExecutor:
     """Build an executor from its registry name.
 
-    ``workers`` means pool width for ``"threads"`` and band count for
-    ``"banded"``; it is ignored by ``"serial"``. ``lock_factory`` (see
-    :mod:`repro.analysis.lock_tracker`) is forwarded to executors that own
-    locks so their locks join the caller's lock-order tracking.
+    ``workers`` means pool width for ``"threads"``/``"process"`` and band
+    count for ``"banded"``; it is ignored by ``"serial"``. ``lock_factory``
+    (see :mod:`repro.analysis.lock_tracker`) is forwarded to executors that
+    own locks so their locks join the caller's lock-order tracking.
     """
     if name == "serial":
         return SerialExecutor()
@@ -205,6 +315,8 @@ def make_executor(
         return ThreadPoolRowExecutor(workers=workers, lock_factory=lock_factory)
     if name == "banded":
         return BandedExecutor(n_bands=workers or 2)
+    if name == "process":
+        return ProcessPoolRowExecutor(workers=workers, lock_factory=lock_factory)
     raise InvalidParameterError(
         f"unknown executor {name!r}; choose from {EXECUTOR_NAMES}"
     )

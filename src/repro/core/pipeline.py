@@ -53,6 +53,28 @@ def as_codes(seq) -> np.ndarray:
     return encode(seq)
 
 
+def _cache_token(index_cache) -> int | None:
+    """A stable per-parent-session token for process-tier worker caches.
+
+    Worker-side sessions are keyed by it (see
+    :class:`repro.core.procpool.RowTaskSpec`), so each parent session gets
+    its own worker caches and a fresh session's first query reports real
+    misses rather than inheriting another session's warmth.
+    """
+    if index_cache is None:
+        return None
+    token = getattr(index_cache, "_proc_token", None)
+    if token is None:
+        from repro.core import procpool
+
+        token = procpool.next_session_token()
+        try:
+            index_cache._proc_token = token
+        except AttributeError:  # slotted custom cache: fall back to identity
+            token = id(index_cache)
+    return token
+
+
 @dataclass
 class PipelineStats:
     """Typed per-run statistics of one pipeline execution.
@@ -419,12 +441,21 @@ class Pipeline:
                 sp.set(n_kmers=int(query_kmers.size))
             prep_time = time.perf_counter() - t0
 
-            def row_fn(row: int) -> RowResult:
-                return self.process_row(
-                    reference, query, query_kmers, plan, row, cache=index_cache
+            if getattr(self.executor, "needs_spec", False):
+                row_results = self._run_specs(
+                    reference, query, plan, index_cache
                 )
+            else:
 
-            row_results = self.executor.map_rows(row_fn, range(plan.n_rows))
+                def row_fn(row: int) -> RowResult:
+                    return self.process_row(
+                        reference, query, query_kmers, plan, row,
+                        cache=index_cache,
+                    )
+
+                row_results = self.executor.map_rows(
+                    row_fn, range(plan.n_rows)
+                )
 
             with tracer.span("stage:host_merge", cat="pipeline") as sp:
                 mems, crossing, out_tile, merge_seconds = self.merge.run(
@@ -460,6 +491,36 @@ class Pipeline:
         self.executor.annotate(stats)
         self._record_metrics(stats, n_mems=int(mems.size))
         return mems, stats
+
+    def _run_specs(
+        self, reference: np.ndarray, query: np.ndarray, plan, index_cache
+    ) -> list[RowResult]:
+        """Dispatch rows to a spec-based (process) executor.
+
+        The closure-based path cannot cross a process boundary, so the work
+        travels as a picklable :class:`repro.core.procpool.RowTaskSpec`.
+        When the caller's cache is already fully warm, the spec says so:
+        workers then warm their own sessions up front and report the same
+        all-hit / zero-index-time stats a warm serial session does.
+        """
+        from repro.core import procpool
+
+        assume_warm = False
+        if index_cache is not None:
+            cache_info = getattr(index_cache, "cache_info", None)
+            if cache_info is not None:
+                info = cache_info()
+                assume_warm = 0 < info["n_rows"] <= info["n_cached"]
+        spec = procpool.make_spec(
+            reference,
+            self.params,
+            query=query,
+            use_cache=index_cache is not None,
+            assume_warm=assume_warm,
+            token=_cache_token(index_cache),
+            tracer=self.tracer,
+        )
+        return self.executor.map_row_specs(spec, range(plan.n_rows))
 
     def _record_metrics(self, stats: PipelineStats, *, n_mems: int) -> None:
         """Fold one run's stats into the tracer's metrics registry."""
@@ -499,6 +560,13 @@ class Pipeline:
         plan = self.plan_for(reference.size, self.params.tile_size)
         tracer = self.tracer
 
+        if getattr(self.executor, "needs_spec", False):
+            with tracer.span(
+                "pipeline.build_row_indexes", cat="pipeline",
+                n_rows=plan.n_rows,
+            ):
+                return self._build_specs(reference, plan, cache)
+
         def row_fn(row: int) -> float:
             with tracer.span("stage:row_index", cat="pipeline", row=row) as sp:
                 _, seconds, cache_hit = self.row_index.run(
@@ -513,3 +581,31 @@ class Pipeline:
             return float(
                 sum(self.executor.map_rows(row_fn, range(plan.n_rows)))
             )
+
+    def _build_specs(self, reference: np.ndarray, plan, cache) -> float:
+        """Spec-based (process) warm path: build in workers, fill ``cache``.
+
+        Rows the caller's cache already holds are skipped (counted as hits
+        by the cache itself, matching the serial ``get_or_build`` path);
+        freshly built indexes are written back so the *caller's* cache ends
+        fully warm, not just the workers' — ``MemSession.warm()`` promises
+        ``cache_info()["n_cached"] == n_rows`` afterwards.
+        """
+        from repro.core import procpool
+
+        if cache is None:
+            missing = list(range(plan.n_rows))
+        else:
+            missing = [
+                row for row in range(plan.n_rows) if cache.get(row) is None
+            ]
+        spec = procpool.make_spec(
+            reference, self.params, use_cache=True,
+            token=_cache_token(cache), tracer=self.tracer,
+        )
+        total = 0.0
+        for row, index, seconds in self.executor.build_row_specs(spec, missing):
+            if cache is not None:
+                cache.put(row, index)
+            total += seconds
+        return float(total)

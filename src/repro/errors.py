@@ -89,5 +89,29 @@ class LockOrderError(GpuMemError, RuntimeError):
         super().__init__(message)
 
 
+class ServerOverloadedError(GpuMemError, RuntimeError):
+    """The serving front end shed a request: the admission queue is full.
+
+    Structured (queue depth + limit as attributes) so clients can back off
+    programmatically instead of parsing the message. Raised at submission
+    time — an overloaded server never accepts work it cannot queue.
+    """
+
+    def __init__(self, queue_depth: int, admission_limit: int):
+        self.queue_depth = int(queue_depth)
+        self.admission_limit = int(admission_limit)
+        super().__init__(
+            f"server overloaded: admission queue at {self.queue_depth}/"
+            f"{self.admission_limit}; retry with backoff"
+        )
+
+    def __reduce__(self):
+        return (type(self), (self.queue_depth, self.admission_limit))
+
+
+class ServerClosedError(GpuMemError, RuntimeError):
+    """A request was submitted to a server that is draining or closed."""
+
+
 class IndexError_(GpuMemError, RuntimeError):
     """An index structure is inconsistent (used by self-check utilities)."""

@@ -11,10 +11,15 @@ position containing ``N`` as matching nothing. Since our alphabet is strictly
 - ``"random"`` — replace with deterministic pseudo-random bases (keeps
   coordinates; introduces no long spurious matches because the replacement
   is i.i.d. uniform).
+
+Files may use Unix, Windows (CRLF) or old-Mac (CR) line endings, and paths
+may point at gzip-compressed FASTA — detected by the ``\\x1f\\x8b`` magic
+bytes, not the file extension.
 """
 
 from __future__ import annotations
 
+import gzip
 import os
 from dataclasses import dataclass
 
@@ -68,14 +73,24 @@ def iter_fasta(path_or_file, *, invalid: str = "error", seed: int = 0):
     Unlike :func:`read_fasta` this is a generator that holds at most one
     record's sequence in memory, so a many-million-read file can feed a
     :class:`repro.core.batch.BatchRunner` without ever materializing.
-    ``path_or_file`` may be a filesystem path or a text/bytes file object;
-    ``invalid`` selects the non-ACGT policy (see module docstring).
+    ``path_or_file`` may be a filesystem path (gzip auto-detected by magic
+    bytes) or a text/bytes file object; CRLF and lone-CR line endings are
+    normalized; ``invalid`` selects the non-ACGT policy (see module
+    docstring).
     """
     if invalid not in ("error", "skip", "random"):
         raise ValueError(f"unknown invalid-letter policy {invalid!r}")
     if isinstance(path_or_file, (str, os.PathLike)):
         with open(path_or_file, "rb") as fh:
-            yield from iter_fasta(fh, invalid=invalid, seed=seed)
+            # gzip auto-detect by magic, not extension: compressed read
+            # sets are routinely named plain ".fa" by upstream pipelines.
+            if fh.read(2) == b"\x1f\x8b":
+                fh.seek(0)
+                with gzip.open(fh) as gz:
+                    yield from iter_fasta(gz, invalid=invalid, seed=seed)
+            else:
+                fh.seek(0)
+                yield from iter_fasta(fh, invalid=invalid, seed=seed)
         return
     header: str | None = None
     chunks: list[bytes] = []
@@ -89,21 +104,25 @@ def iter_fasta(path_or_file, *, invalid: str = "error", seed: int = 0):
         codes, dropped = _resolve_invalid(b"".join(chunks), invalid, seed + n_records)
         return FastaRecord(header=header, codes=codes, dropped=dropped)
 
-    for line in path_or_file:
-        if isinstance(line, str):
-            line = line.encode("ascii")
-        line = line.strip()
-        if not line:
-            continue
-        if line.startswith(b">"):
-            record = flush()
-            if record is not None:
-                yield record
-                n_records += 1
-            header = line[1:].decode("ascii", errors="replace").strip()
-            chunks = []
-        else:
-            chunks.append(line)
+    for raw in path_or_file:
+        if isinstance(raw, str):
+            raw = raw.encode("ascii")
+        # Normalize line endings: CRLF lines lose their \r to strip();
+        # lone-CR (old-Mac) files arrive as one physical line, so every
+        # \r is additionally treated as a line break of its own.
+        for line in raw.split(b"\r") if b"\r" in raw else (raw,):
+            line = line.strip()
+            if not line:
+                continue
+            if line.startswith(b">"):
+                record = flush()
+                if record is not None:
+                    yield record
+                    n_records += 1
+                header = line[1:].decode("ascii", errors="replace").strip()
+                chunks = []
+            else:
+                chunks.append(line)
     record = flush()
     if record is not None:
         yield record

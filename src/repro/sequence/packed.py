@@ -10,9 +10,17 @@ bulk:
   consume).
 - :meth:`PackedSequence.limbs`: 32-base ``uint64`` windows used by the
   suffix-array baselines for fast batched suffix comparison.
+
+For the process-sharded execution tier, :meth:`PackedSequence.to_shared` /
+:meth:`PackedSequence.from_shared` move the packed buffer into a named
+``multiprocessing.shared_memory`` segment: worker processes attach to the
+2-bit genome *by name* (a :class:`SharedSequenceHandle` is a few strings)
+instead of re-pickling megabytes of reference per task.
 """
 
 from __future__ import annotations
+
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -21,6 +29,48 @@ from repro.sequence.alphabet import decode, encode
 
 #: Number of bases packed per uint64 limb (2 bits each).
 BASES_PER_LIMB = 32
+
+
+
+@dataclass(frozen=True)
+class SharedSequenceHandle:
+    """Picklable pointer to a shared 2-bit packed sequence.
+
+    Only plain strings and ints — shipping one across a process boundary
+    costs a few bytes regardless of genome size. Attach with
+    :meth:`PackedSequence.from_shared` (or :meth:`attach`).
+    """
+
+    #: ``multiprocessing.shared_memory`` segment name.
+    shm_name: str
+    #: Sequence length in bases (the packed buffer holds ``ceil(n/4)`` bytes).
+    n_bases: int
+    #: Optional human-readable sequence name (FASTA header etc.).
+    name: str = ""
+
+    def attach(self) -> "PackedSequence":
+        """Attach to the segment (see :meth:`PackedSequence.from_shared`)."""
+        return PackedSequence.from_shared(self)
+
+
+def _untrack_shared_memory(shm) -> None:
+    """Stop the resource tracker from reaping an attached segment.
+
+    Before Python 3.13 (``track=False``), *attaching* also registers the
+    segment with the attacher's resource tracker. For the process pools this
+    repo spawns that is harmless — ``multiprocessing`` hands children the
+    parent's tracker fd, so the registration is an idempotent set-add paired
+    with the owner's eventual unlink, and unregistering here would delete the
+    owner's entry out from under it. Only a *standalone* attacher (its own
+    tracker, e.g. a separately launched process) must call this, or its
+    tracker will unlink the owner's segment when the attacher exits.
+    """
+    try:
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(shm._name, "shared_memory")
+    except Exception:  # pragma: no cover - best effort across CPython versions
+        pass
 
 
 def pack_bits(codes: np.ndarray) -> np.ndarray:
@@ -93,7 +143,7 @@ class PackedSequence:
     for the packed representation only — exactly the paper's setting.
     """
 
-    __slots__ = ("_packed", "_n", "_codes", "name")
+    __slots__ = ("_packed", "_n", "_codes", "name", "_shm", "_shm_owner")
 
     def __init__(self, seq, *, name: str = ""):
         codes = encode(seq) if not isinstance(seq, PackedSequence) else seq.codes()
@@ -101,6 +151,32 @@ class PackedSequence:
         self._packed = pack_bits(codes)
         self._codes: np.ndarray | None = np.ascontiguousarray(codes, dtype=np.uint8)
         self.name = name
+        #: Live ``SharedMemory`` object when this sequence owns or is
+        #: attached to a shared segment (see :meth:`to_shared`).
+        self._shm = None
+        self._shm_owner = False
+
+    @classmethod
+    def from_packed(cls, packed: np.ndarray, n: int, *, name: str = "") -> "PackedSequence":
+        """Wrap an already 2-bit packed buffer without re-encoding.
+
+        ``packed`` must follow the :func:`pack_bits` layout (4 bases/byte,
+        zero-padded final byte); ``n`` is the base count. The buffer is
+        referenced, not copied — this is the zero-copy attach path.
+        """
+        packed = np.asarray(packed, dtype=np.uint8)
+        if n > packed.size * 4 or n < 0:
+            raise InvalidSequenceError(
+                f"cannot view {n} bases over {packed.size} packed bytes"
+            )
+        seq = cls.__new__(cls)
+        seq._n = int(n)
+        seq._packed = packed
+        seq._codes = None
+        seq.name = name
+        seq._shm = None
+        seq._shm_owner = False
+        return seq
 
     # -- basic container protocol -------------------------------------------------
     def __len__(self) -> int:
@@ -147,6 +223,101 @@ class PackedSequence:
     def to_string(self) -> str:
         """Decode back to an ``ACGT`` string."""
         return decode(self.codes())
+
+    # -- shared memory ------------------------------------------------------------
+    def to_shared(self, *, shm_name: str | None = None) -> SharedSequenceHandle:
+        """Publish the packed buffer into a named shared-memory segment.
+
+        Creates (or reuses, on repeat calls) a ``multiprocessing.shared_memory``
+        segment holding the 2-bit buffer and returns a picklable
+        :class:`SharedSequenceHandle`. The owning sequence keeps the segment
+        alive; call :meth:`unlink_shared` to destroy it when all workers have
+        detached.
+        """
+        if self._shm is not None:
+            return SharedSequenceHandle(
+                shm_name=self._shm.name, n_bases=self._n, name=self.name
+            )
+        from multiprocessing import shared_memory
+
+        nbytes = max(1, self._packed.nbytes)  # zero-size segments are illegal
+        shm = shared_memory.SharedMemory(create=True, size=nbytes, name=shm_name)
+        view = np.frombuffer(shm.buf, dtype=np.uint8, count=self._packed.size)
+        view[:] = self._packed
+        del view  # release the exported buffer before anyone can close()
+        self._shm = shm
+        self._shm_owner = True
+        return SharedSequenceHandle(shm_name=shm.name, n_bases=self._n, name=self.name)
+
+    @classmethod
+    def from_shared(cls, handle: SharedSequenceHandle) -> "PackedSequence":
+        """Attach to a segment published by :meth:`to_shared` (zero-copy).
+
+        The returned sequence's packed buffer is a view over the shared
+        segment: no bytes of reference are copied into this process. Call
+        :meth:`close_shared` to detach (the owner's segment survives).
+        """
+        from multiprocessing import shared_memory
+
+        try:
+            shm = shared_memory.SharedMemory(name=handle.shm_name, track=False)
+        except TypeError:  # Python < 3.13: no track kwarg
+            # Registration with the (inherited, shared) tracker is an
+            # idempotent no-op here; see _untrack_shared_memory for when an
+            # attacher must actively untrack.
+            shm = shared_memory.SharedMemory(name=handle.shm_name)
+        packed_len = (handle.n_bases + 3) // 4
+        packed = np.frombuffer(shm.buf, dtype=np.uint8, count=packed_len)
+        seq = cls.from_packed(packed, handle.n_bases, name=handle.name)
+        seq._shm = shm
+        seq._shm_owner = False
+        return seq
+
+    def close_shared(self, *, materialize: bool = True) -> None:
+        """Detach from the shared segment.
+
+        ``shm.close()`` raises ``BufferError`` while numpy views over
+        ``shm.buf`` are alive, so the packed buffer is first materialized
+        into private memory (keeping the sequence usable). Pass
+        ``materialize=False`` for teardown-only detaches — the packed
+        buffer is dropped instead of copied and only an already-unpacked
+        code cache stays usable. Idempotent; a no-op when not shared.
+        """
+        if self._shm is None:
+            return
+        if materialize:
+            self._packed = np.array(self._packed, dtype=np.uint8, copy=True)
+        else:
+            self._packed = np.empty(0, dtype=np.uint8)
+        self._shm.close()
+        self._shm = None
+        self._shm_owner = False
+
+    def unlink_shared(self) -> None:
+        """Destroy the shared segment (owner teardown): detach then unlink."""
+        if self._shm is None:
+            return
+        shm = self._shm
+        self.close_shared()
+        shm.unlink()
+
+    # -- pickling -----------------------------------------------------------------
+    def __getstate__(self):
+        # Self-contained: ship packed bytes, never the SharedMemory object
+        # (unpicklable) nor a live buffer view over it.
+        return {
+            "packed": np.array(self._packed, dtype=np.uint8, copy=True).tobytes(),
+            "n": self._n,
+            "name": self.name,
+        }
+
+    def __setstate__(self, state):
+        self._n = int(state["n"])
+        self._packed = np.frombuffer(state["packed"], dtype=np.uint8).copy()
+        self._codes = None
+        self.name = state["name"]
+        self._shm = None
+        self._shm_owner = False
 
     # -- bulk extraction ----------------------------------------------------------
     def kmers(self, k: int) -> np.ndarray:

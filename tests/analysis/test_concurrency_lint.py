@@ -319,3 +319,115 @@ class TestSelectIgnore:
 def test_shipped_package_passes_the_host_gate():
     """Every suppression in src/repro is justified; no open findings."""
     assert lint_host_paths([os.path.dirname(repro.__file__)]) == []
+
+
+class TestMultiprocessingLocks:
+    """Locks built from multiprocessing ctors count, whatever their name."""
+
+    def test_mp_lock_attr_guard_honored(self):
+        findings = lint("""
+            import multiprocessing
+
+            class C:
+                def __init__(self):
+                    self._mu = multiprocessing.Lock()  # guards: _state
+                    self._state = {}
+
+                def good(self):
+                    with self._mu:
+                        self._state["k"] = 1
+
+                def bad(self):
+                    return self._state
+        """)
+        assert [(f.rule, f.scope) for f in findings] == [("CL101", "C.bad")]
+
+    def test_mp_rlock_alias_import(self):
+        findings = lint("""
+            import multiprocessing as mp
+
+            class C:
+                def __init__(self):
+                    self._gate = mp.RLock()  # guards: _n
+
+                def ok(self):
+                    with self._gate:
+                        self._n += 1
+        """)
+        assert findings == []
+
+    def test_spawn_context_lock(self):
+        findings = lint("""
+            from multiprocessing import get_context
+
+            class C:
+                def __init__(self):
+                    self._mu = get_context("spawn").Lock()  # guards: _n
+
+                def bad(self):
+                    self._n += 1
+        """)
+        assert [f.rule for f in findings] == ["CL101"]
+
+    def test_module_level_mp_lock_guards_cl104(self):
+        findings = lint("""
+            import multiprocessing as mp
+
+            _mu = mp.Lock()  # guards: _cache
+            _cache = {}
+
+            def good():
+                with _mu:
+                    _cache["k"] = 1
+
+            def bad():
+                _cache["k"] = 2
+        """)
+        assert [(f.rule, f.scope) for f in findings] == [("CL104", "bad")]
+
+    def test_blocking_under_unnamed_mp_lock_cl103(self):
+        findings = lint("""
+            from multiprocessing import Lock
+
+            class D:
+                def __init__(self):
+                    self._gate = Lock()
+
+                def run(self, fut):
+                    with self._gate:
+                        return fut.result()
+        """)
+        assert [f.rule for f in findings] == ["CL103"]
+
+    def test_lock_order_cycle_across_mp_locks(self):
+        findings = lint("""
+            import multiprocessing
+
+            class E:
+                def __init__(self):
+                    self._a = multiprocessing.Lock()
+                    self._b = multiprocessing.Lock()
+
+                def one(self):
+                    with self._a:
+                        with self._b:
+                            pass
+
+                def two(self):
+                    with self._b:
+                        with self._a:
+                            pass
+        """)
+        assert "CL102" in {f.rule for f in findings}
+
+    def test_non_lock_attr_still_ignored(self):
+        findings = lint("""
+            class F:
+                def __init__(self):
+                    self._items = list()
+
+                def use(self):
+                    with self._items:
+                        pass
+        """)
+        assert findings == []

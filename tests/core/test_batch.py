@@ -270,3 +270,67 @@ class TestLabelsAndObservability:
         runner = BatchRunner(reference, min_length=30)
         [result] = list(runner.run(_queries(reference, 1)))
         assert result.seconds > 0.0
+
+
+class TestProcessTier:
+    """tier="process": whole queries shipped to the shared worker pool."""
+
+    def test_matches_serial_loop(self, reference):
+        queries = _queries(reference, 8)
+        session = MemSession(reference, min_length=30)
+        serial = [session.find_mems(q).as_tuples() for q in queries]
+        runner = BatchRunner(
+            reference, min_length=30, tier="process", workers=2
+        )
+        results = list(runner.run(queries, ordered=True))
+        assert [r.index for r in results] == list(range(len(queries)))
+        assert all(r.ok for r in results)
+        assert [r.value.as_tuples() for r in results] == serial
+        assert runner._in_flight == 0
+
+    def test_as_completed_same_results(self, reference):
+        queries = _queries(reference, 6, seed=3)
+        runner = BatchRunner(
+            reference, min_length=30, tier="process", workers=2
+        )
+        ordered = [
+            r.value.as_tuples() for r in runner.run(queries, ordered=True)
+        ]
+        unordered = sorted(
+            runner.run(queries, ordered=False), key=lambda r: r.index
+        )
+        assert [r.value.as_tuples() for r in unordered] == ordered
+        assert runner._in_flight == 0
+
+    def test_worker_stats_travel_back(self, reference):
+        runner = BatchRunner(
+            reference, min_length=30, tier="process", workers=2
+        )
+        (result,) = runner.run(_queries(reference, 1))
+        # the batch tier pre-warms worker sessions (assume_warm)
+        assert result.value.stats.index_cache_misses == 0
+        assert result.seconds >= 0.0
+
+    def test_poisoned_record_isolated(self, reference):
+        queries = _queries(reference, 3)
+        stream = queries[:2] + ["ACGT!!"] + queries[2:]
+        runner = BatchRunner(
+            reference, min_length=30, tier="process", workers=2
+        )
+        results = list(runner.run(stream, ordered=True))
+        assert [r.ok for r in results] == [True, True, False, True]
+        assert isinstance(results[2], BatchError)
+        assert runner._in_flight == 0
+
+    def test_custom_fn_rejected(self, reference):
+        runner = BatchRunner(
+            reference, min_length=30, tier="process", workers=2
+        )
+        with pytest.raises(InvalidParameterError, match="process tier"):
+            runner.run([], fn=lambda q: q)
+        with pytest.raises(InvalidParameterError, match="process tier"):
+            runner.map(lambda q: q, [])
+
+    def test_invalid_tier_rejected(self, reference):
+        with pytest.raises(InvalidParameterError, match="tier"):
+            BatchRunner(reference, min_length=30, tier="gpu")

@@ -1,0 +1,205 @@
+"""MemServer: admission control, burst shedding, graceful drain, tiers."""
+
+import pickle
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core import GpuMemParams, MemServer, MemSession, brute_force_mems
+from repro.core.serve import SERVE_TIERS, ServeResult
+from repro.errors import (
+    InvalidParameterError,
+    ServerClosedError,
+    ServerOverloadedError,
+)
+from repro.types import mems_equal
+
+SMALL = dict(seed_length=3, threads_per_block=4, blocks_per_tile=2)
+L = 5
+
+
+def params(**kw):
+    base = dict(min_length=L, **SMALL)
+    base.update(kw)
+    return GpuMemParams(**base)
+
+
+@pytest.fixture(scope="module")
+def data():
+    rng = np.random.default_rng(7)
+    ref = rng.integers(0, 4, 600).astype(np.uint8)
+    qry = np.concatenate([ref[50:200], rng.integers(0, 4, 80).astype(np.uint8)])
+    return ref, qry
+
+
+class TestThreadTier:
+    def test_round_trip(self, data):
+        ref, qry = data
+        with MemServer(ref, params(), workers=2, admission_limit=32) as server:
+            futures = [server.submit(qry, label=f"q{i}") for i in range(6)]
+            for i, future in enumerate(futures):
+                res = future.result(timeout=60)
+                assert isinstance(res, ServeResult)
+                assert res.ok and res.error is None
+                assert res.label == f"q{i}"
+                assert mems_equal(res.value.array, brute_force_mems(ref, qry, L))
+                assert res.seconds >= 0.0
+
+    def test_request_sync_helper(self, data):
+        ref, qry = data
+        with MemServer(ref, params(), workers=1) as server:
+            res = server.request(qry, timeout=60)
+            assert res.ok and len(res.value) > 0
+
+    def test_error_isolated_in_result(self, data):
+        ref, qry = data
+        with MemServer(ref, params(), workers=1) as server:
+            bad = server.request(np.full(30, 9, dtype=np.uint8), timeout=60)
+            assert not bad.ok and bad.value is None
+            assert isinstance(bad.error, Exception)
+            # the server survives: next request succeeds
+            assert server.request(qry, timeout=60).ok
+
+    def test_existing_session_binding(self, data):
+        ref, qry = data
+        session = MemSession(ref, params())
+        session.warm()
+        with MemServer(session, workers=2) as server:
+            res = server.request(qry, timeout=60)
+            assert res.ok
+            assert res.value.stats.index_cache_misses == 0
+
+    def test_invalid_tier(self, data):
+        ref, _ = data
+        assert "thread" in SERVE_TIERS and "process" in SERVE_TIERS
+        with pytest.raises(InvalidParameterError):
+            MemServer(ref, params(), tier="fiber")
+
+
+class TestAdmissionControl:
+    def _gated_server(self, data, **kw):
+        """A server whose find_mems blocks until the returned event is set."""
+        ref, _ = data
+        gate = threading.Event()
+        server = MemServer(ref, params(), **kw)
+        real = server.session.find_mems
+
+        def gated(query):
+            gate.wait(timeout=60)
+            return real(query)
+
+        server.session.find_mems = gated
+        return server, gate
+
+    def test_burst_sheds_structured_above_limit(self, data):
+        _, qry = data
+        server, gate = self._gated_server(
+            data, workers=1, max_in_flight=1, admission_limit=2
+        )
+        try:
+            # keep submitting until the admission queue overflows; with the
+            # executor gated shut this takes at most 1 (in flight) +
+            # 2 (queued) + 1 (shed) submissions, timing-independent
+            admitted = []
+            with pytest.raises(ServerOverloadedError) as info:
+                for _ in range(50):
+                    admitted.append(server.submit(qry))
+            assert 2 <= len(admitted) <= 3
+            assert info.value.admission_limit == 2
+            assert info.value.queue_depth >= 2
+            assert server.stats()["shed"] >= 1
+        finally:
+            gate.set()
+            final = server.close()
+        # every admitted request still completed correctly
+        for future in admitted:
+            assert future.result(timeout=60).ok
+        assert final["completed"] >= len(admitted)
+
+    def test_shed_error_pickles(self):
+        exc = pickle.loads(pickle.dumps(ServerOverloadedError(5, 4)))
+        assert (exc.queue_depth, exc.admission_limit) == (5, 4)
+
+    def test_drain_completes_queued_work(self, data):
+        _, qry = data
+        server, gate = self._gated_server(
+            data, workers=1, max_in_flight=1, admission_limit=8
+        )
+        futures = [server.submit(qry) for _ in range(4)]
+        gate.set()
+        final = server.close(drain=True)
+        assert all(f.result(timeout=1).ok for f in futures)
+        assert final["completed"] == 4
+        assert final["cancelled"] == 0
+        assert final["drain_seconds"] >= 0.0
+
+    def test_close_without_drain_cancels_queued(self, data):
+        _, qry = data
+        server, gate = self._gated_server(
+            data, workers=1, max_in_flight=1, admission_limit=8
+        )
+        futures = [server.submit(qry) for _ in range(4)]
+        gate.set()
+        final = server.close(drain=False)
+        results = [f.result(timeout=60) for f in futures]
+        cancelled = [r for r in results if isinstance(r.error, ServerClosedError)]
+        completed = [r for r in results if r.ok]
+        assert len(cancelled) + len(completed) == 4
+        assert final["cancelled"] == len(cancelled)
+
+    def test_submit_after_close_raises(self, data):
+        ref, qry = data
+        server = MemServer(ref, params(), workers=1)
+        server.close()
+        with pytest.raises(ServerClosedError):
+            server.submit(qry)
+
+    def test_close_idempotent(self, data):
+        ref, _ = data
+        server = MemServer(ref, params(), workers=1)
+        server.close()
+        server.close()
+
+    def test_defaults(self, data):
+        ref, _ = data
+        server = MemServer(ref, params(), workers=3)
+        try:
+            assert server.max_in_flight == 3
+            assert server.admission_limit == 6
+        finally:
+            server.close()
+
+
+class TestProcessTier:
+    def test_round_trip_and_warm_stats(self, data):
+        ref, qry = data
+        with MemServer(ref, params(), tier="process", workers=2) as server:
+            res = server.request(qry, timeout=120)
+            assert res.ok, res.error
+            assert mems_equal(res.value.array, brute_force_mems(ref, qry, L))
+            # the serve tier pre-warms worker sessions
+            assert res.value.stats.index_cache_misses == 0
+
+    def test_error_isolated_across_boundary(self, data):
+        ref, qry = data
+        with MemServer(ref, params(), tier="process", workers=2) as server:
+            bad = server.request(np.full(30, 9, dtype=np.uint8), timeout=120)
+            assert not bad.ok
+            assert isinstance(bad.error, Exception)
+            assert server.request(qry, timeout=120).ok
+
+
+class TestMetrics:
+    def test_serve_metrics_recorded(self, data):
+        from repro.obs import Tracer
+
+        ref, qry = data
+        tracer = Tracer()
+        with MemServer(ref, params(), workers=1, tracer=tracer) as server:
+            assert server.request(qry, timeout=60).ok
+        formatted = tracer.metrics.format()
+        assert "serve.requests" in formatted
+        assert "serve.request_seconds" in formatted
+        names = {s.name for s in tracer.spans}
+        assert "serve.request" in names

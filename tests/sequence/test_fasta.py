@@ -82,6 +82,48 @@ class TestReadFasta:
         assert recs[0].codes.tolist() == [0, 1, 2, 3]
 
 
+class TestLineEndingsAndGzip:
+    CONTENT = b">a one\r\nACGT\r\nGGCC\r\n>b\r\nTTTT\r\n"
+
+    def expect(self):
+        return [("a one", [0, 1, 2, 3, 2, 2, 1, 1]), ("b", [3, 3, 3, 3])]
+
+    def got(self, recs):
+        return [(r.header, r.codes.tolist()) for r in recs]
+
+    def test_crlf_multi_record(self):
+        recs = read_fasta(io.BytesIO(self.CONTENT))
+        assert self.got(recs) == self.expect()
+
+    def test_lone_cr_old_mac(self):
+        # the whole file is one physical line; \r must act as a separator
+        recs = read_fasta(io.BytesIO(self.CONTENT.replace(b"\r\n", b"\r")))
+        assert self.got(recs) == self.expect()
+
+    def test_mixed_endings(self):
+        recs = read_fasta(io.BytesIO(b">a one\nACGT\r\nGGCC\r>b\nTTTT\n"))
+        assert self.got(recs) == self.expect()
+
+    def test_gzip_path_auto_detected(self, tmp_path):
+        import gzip
+
+        p = tmp_path / "reads.fa"  # deliberately no .gz extension
+        p.write_bytes(gzip.compress(self.CONTENT))
+        assert self.got(read_fasta(p)) == self.expect()
+
+    def test_gzip_crlf_combination(self, tmp_path):
+        import gzip
+
+        p = tmp_path / "reads.fa.gz"
+        p.write_bytes(gzip.compress(self.CONTENT.replace(b"\r\n", b"\r")))
+        assert self.got(read_fasta(p)) == self.expect()
+
+    def test_plain_path_unaffected(self, tmp_path):
+        p = tmp_path / "plain.fa"
+        p.write_bytes(self.CONTENT)
+        assert self.got(read_fasta(p)) == self.expect()
+
+
 class TestWriteFasta:
     def test_round_trip_via_file(self, tmp_path):
         p = tmp_path / "out.fa"

@@ -8,6 +8,7 @@ from repro.errors import InvalidSequenceError
 from repro.sequence.packed import (
     BASES_PER_LIMB,
     PackedSequence,
+    SharedSequenceHandle,
     kmer_codes,
     pack_bits,
     unpack_bits,
@@ -134,3 +135,110 @@ class TestPackedSequence:
         limb = seq.limbs(np.array([0]), 1)[0, 0]
         # T=3 in the top 2 bits, rest zero-padded
         assert limb == np.uint64(3) << np.uint64(2 * (BASES_PER_LIMB - 1))
+
+
+class TestFromPacked:
+    def test_zero_copy_view(self):
+        seq = PackedSequence("ACGTACGTT")
+        other = PackedSequence.from_packed(seq.packed, len(seq))
+        assert other == seq
+        assert other.packed is seq.packed  # referenced, not copied
+
+    def test_length_validation(self):
+        with pytest.raises(InvalidSequenceError):
+            PackedSequence.from_packed(np.zeros(1, dtype=np.uint8), 5)
+
+
+class TestSharedMemory:
+    def _fresh(self, text="ACGT" * 60):
+        return PackedSequence(text, name="ref")
+
+    def test_round_trip(self):
+        seq = self._fresh()
+        try:
+            handle = seq.to_shared()
+            assert isinstance(handle, SharedSequenceHandle)
+            assert handle.n_bases == len(seq) and handle.name == "ref"
+            other = PackedSequence.from_shared(handle)
+            assert other == seq
+            assert np.array_equal(other.codes(), seq.codes())
+            other.close_shared()
+        finally:
+            seq.unlink_shared()
+
+    def test_to_shared_idempotent(self):
+        seq = self._fresh()
+        try:
+            assert seq.to_shared().shm_name == seq.to_shared().shm_name
+        finally:
+            seq.unlink_shared()
+
+    def test_handle_attach_and_pickle(self):
+        import pickle
+
+        seq = self._fresh()
+        try:
+            handle = pickle.loads(pickle.dumps(seq.to_shared()))
+            other = handle.attach()
+            assert other == seq
+            other.close_shared()
+        finally:
+            seq.unlink_shared()
+
+    def test_detach_leaves_owner_segment_alive(self):
+        seq = self._fresh()
+        try:
+            handle = seq.to_shared()
+            first = PackedSequence.from_shared(handle)
+            first.close_shared()
+            second = PackedSequence.from_shared(handle)  # still attachable
+            assert second == seq
+            second.close_shared()
+        finally:
+            seq.unlink_shared()
+
+    def test_close_shared_materializes_owner(self):
+        seq = self._fresh()
+        before = seq.codes().copy()
+        seq.to_shared()
+        seq.unlink_shared()
+        # owner keeps working on a private copy after the segment is gone
+        assert np.array_equal(seq.codes(), before)
+        assert seq[3] == 3
+
+    def test_unlink_removes_segment(self):
+        from multiprocessing import shared_memory
+
+        seq = self._fresh()
+        handle = seq.to_shared()
+        seq.unlink_shared()
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=handle.shm_name)
+
+    def test_unlink_idempotent(self):
+        seq = self._fresh()
+        seq.to_shared()
+        seq.unlink_shared()
+        seq.unlink_shared()  # no-op, no error
+
+    def test_empty_sequence(self):
+        seq = PackedSequence("")
+        try:
+            other = PackedSequence.from_shared(seq.to_shared())
+            assert len(other) == 0
+            other.close_shared()
+        finally:
+            seq.unlink_shared()
+
+    def test_pickle_round_trip_is_self_contained(self):
+        import pickle
+
+        seq = self._fresh()
+        try:
+            seq.to_shared()
+            clone = pickle.loads(pickle.dumps(seq))
+        finally:
+            seq.unlink_shared()
+        # the clone never references the (now unlinked) segment
+        assert clone == seq
+        assert np.array_equal(clone.codes(), seq.codes())

@@ -136,3 +136,57 @@ class TestDataset:
 
     def test_unknown_dataset(self, tmp_path, capsys):
         assert main(["dataset", "nope", str(tmp_path / "x.fa")]) == 2
+
+
+class TestServe:
+    @pytest.fixture
+    def serve_setup(self, tmp_path, fasta_pair):
+        import json
+
+        rp, _, ref, qry = fasta_pair
+        from repro.sequence.alphabet import decode
+
+        text = decode(qry[:500])
+        reqs = tmp_path / "reqs.jsonl"
+        reqs.write_text(
+            json.dumps({"id": "r1", "query": text}) + "\n"
+            + text[:200] + "\n"            # bare-sequence line
+            + "\n"                          # blank: skipped
+            + json.dumps({"id": "noq"}) + "\n"
+        )
+        return rp, str(reqs), ref, qry
+
+    def test_jsonl_round_trip(self, serve_setup, capsys):
+        import json
+
+        rp, reqs, ref, qry = serve_setup
+        rc = main(["serve", rp, reqs, "-l", "25", "-s", "8", "--workers", "2"])
+        assert rc == 0
+        lines = [json.loads(l) for l in capsys.readouterr().out.splitlines()]
+        by_id = {l["id"]: l for l in lines}
+        assert by_id["noq"]["ok"] is False
+        ok = by_id["r1"]
+        assert ok["ok"] and ok["n_mems"] == len(ok["mems"])
+        import repro
+
+        expect = {
+            (r + 1, q + 1, l)
+            for r, q, l in repro.find_mems(
+                ref, qry[:500], min_length=25, seed_length=8
+            )
+        }
+        assert {tuple(m) for m in ok["mems"]} == expect
+        assert by_id[1]["ok"]  # the bare line got its line number as id
+
+    def test_count_only_and_verbose(self, serve_setup, capsys):
+        import json
+
+        rp, reqs, *_ = serve_setup
+        rc = main(["serve", rp, reqs, "-l", "25", "-s", "8",
+                   "--count-only", "-v"])
+        assert rc == 0
+        out = capsys.readouterr()
+        lines = [json.loads(l) for l in out.out.splitlines()]
+        assert all("mems" not in l for l in lines)
+        assert "# served: 2" in out.err
+        assert "tier: thread" in out.err
