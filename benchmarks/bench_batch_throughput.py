@@ -45,8 +45,16 @@ QUERY_BASES = 2_000
 N_QUERIES = 32
 WORKER_SWEEP = (1, 2, 4)
 
+#: The obs-overhead experiment uses read-mapper-scale queries: shipping
+#: cost is a fixed few-hundred-µs per task (capture + pickle + merge), so
+#: the honest overhead number comes from tasks with representative compute,
+#: not the micro-queries the throughput sweep uses to stress scheduling.
+OBS_N_QUERIES = 12
+OBS_QUERY_BASES = 48_000
 
-def _workload(rng_seed: int = 43):
+
+def _workload(rng_seed: int = 43, n_queries: int = N_QUERIES,
+              query_bases: int = QUERY_BASES):
     reference = plant_repeats(
         markov_dna(REFERENCE_BASES, seed=rng_seed),
         seed=rng_seed + 1,
@@ -57,9 +65,9 @@ def _workload(rng_seed: int = 43):
     )
     rng = np.random.default_rng(rng_seed + 2)
     queries = []
-    for _ in range(N_QUERIES):
-        at = int(rng.integers(0, reference.size - QUERY_BASES))
-        read = reference[at : at + QUERY_BASES].copy()
+    for _ in range(n_queries):
+        at = int(rng.integers(0, reference.size - query_bases))
+        read = reference[at : at + query_bases].copy()
         flips = rng.integers(0, read.size, read.size // 100)
         read[flips] = (read[flips] + rng.integers(1, 4, flips.size)) % 4
         queries.append(read)
@@ -159,6 +167,104 @@ def generate_series(div: int | None = None) -> str:
     return "\n".join(lines) + "\n"
 
 
+def run_obs_overhead_experiment(
+    reference, queries, params, *, workers: int = 2, repeats: int = 9
+) -> dict:
+    """Process-tier qps with observability off vs on (budget: <= 5%).
+
+    "On" means a live parent :class:`~repro.obs.Tracer`: every worker task
+    then records spans + metrics process-locally and ships an
+    :class:`~repro.obs.shipping.ObsPayload` home with its result. The
+    overhead measured here is therefore the full cross-process shipping
+    path — capture, pickle, merge — not just in-process span bookkeeping.
+    Both runners are warmed untimed (spawn + per-worker session warm),
+    then the timed passes *interleave* the two modes: each repeat times
+    one off pass and one on pass back to back and contributes one on/off
+    ratio, and the reported overhead is the *median* of those paired
+    ratios — back-to-back pairing cancels slow machine drift, the median
+    discards the scheduler-hiccup outliers that dominate min-of-mins on
+    shared single-core CI runners.
+    """
+    from repro.obs import Tracer
+
+    tracer = Tracer()
+    runner_off = BatchRunner(
+        reference, params, tier="process", workers=workers
+    )
+    runner_on = BatchRunner(
+        reference, params, tier="process", workers=workers, tracer=tracer
+    )
+    # Untimed warm passes: spawn the shared pool once, warm each mode's
+    # per-worker sessions (the session cache keys on ship_obs).
+    list(runner_off.run(queries))
+    list(runner_on.run(queries))
+
+    def timed(runner) -> float:
+        t0 = time.perf_counter()
+        results = list(runner.run(queries))
+        seconds = time.perf_counter() - t0
+        assert all(r.ok for r in results)
+        return seconds
+
+    off_times, on_times = [], []
+    for _ in range(repeats):
+        off_times.append(timed(runner_off))
+        on_times.append(timed(runner_on))
+    ratios = sorted(on / off for off, on in zip(off_times, on_times))
+    median_ratio = ratios[len(ratios) // 2]
+    off, on = min(off_times), min(on_times)
+    shipped = tracer.metrics.to_dict()
+    return {
+        "workers": workers,
+        "repeats": repeats,
+        "n_queries": len(queries),
+        "obs_off_seconds": off,
+        "obs_on_seconds": on,
+        "obs_off_qps": len(queries) / off,
+        "obs_on_qps": len(queries) / on,
+        "overhead_fraction": median_ratio - 1.0,
+        "payloads_shipped": shipped.get("proc.obs.payloads", {}).get("value", 0),
+        "spans_shipped": shipped.get("proc.obs.spans", {}).get("value", 0),
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def generate_obs_overhead_series(div: int | None = None) -> str:
+    reference, queries = _workload(
+        n_queries=OBS_N_QUERIES, query_bases=OBS_QUERY_BASES
+    )
+    params = GpuMemParams(min_length=40, seed_length=10)
+    out = run_obs_overhead_experiment(reference, queries, params)
+    lines = [
+        "== Observability overhead: process tier, obs off vs on "
+        f"(|R|={reference.size:,}, |Q|={OBS_QUERY_BASES:,}, "
+        f"N={out['n_queries']}, workers={out['workers']}, "
+        f"median of {out['repeats']} paired ratios, "
+        f"cpus={out['cpu_count']}) =="
+    ]
+    lines.append(
+        series_csv(
+            ["mode", "seconds", "qps"],
+            [
+                ("obs_off", round(out["obs_off_seconds"], 4),
+                 round(out["obs_off_qps"], 2)),
+                ("obs_on", round(out["obs_on_seconds"], 4),
+                 round(out["obs_on_qps"], 2)),
+            ],
+        )
+    )
+    lines.append(
+        f"# shipped: {out['payloads_shipped']} payloads, "
+        f"{out['spans_shipped']} spans"
+    )
+    lines.append(
+        f"# overhead: {out['overhead_fraction'] * 100:+.2f}% "
+        "(budget: <= 5%; spans + metric deltas ride the existing result "
+        "pickle, so the marginal IPC cost is a few KiB per task)"
+    )
+    return "\n".join(lines) + "\n"
+
+
 def bench_batch_throughput_4(benchmark):
     reference, queries = _workload()
     params = GpuMemParams(min_length=40, seed_length=10)
@@ -172,28 +278,34 @@ def bench_batch_throughput_4(benchmark):
     benchmark(run)
 
 
-def _write_standalone_json(text: str, seconds: float) -> Path:
+def _write_standalone_json(
+    text: str, seconds: float, name: str = "batch_throughput"
+) -> Path:
     """Mirror run_all.py's BENCH_<name>.json record for standalone runs."""
     out_dir = Path(__file__).resolve().parents[1] / "bench_results"
     out_dir.mkdir(exist_ok=True)
     from repro.bench.harness import environment_info
 
     record = {
-        "name": "batch_throughput",
+        "name": name,
         "seconds": round(seconds, 6),
         "div": None,
         "git_revision": None,
         "environment": environment_info(),
         "text": text,
     }
-    path = out_dir / "BENCH_batch_throughput.json"
+    path = out_dir / f"BENCH_{name}.json"
     path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
     return path
 
 
 if __name__ == "__main__":
-    t0 = time.perf_counter()
-    series = generate_series()
-    took = time.perf_counter() - t0
-    print(series)
-    print(f"[wrote {_write_standalone_json(series, took)}]")
+    for name, generate in (
+        ("batch_throughput", generate_series),
+        ("obs_overhead", generate_obs_overhead_series),
+    ):
+        t0 = time.perf_counter()
+        series = generate()
+        took = time.perf_counter() - t0
+        print(series)
+        print(f"[wrote {_write_standalone_json(series, took, name)}]")

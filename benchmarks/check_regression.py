@@ -1,0 +1,137 @@
+"""Diff fresh ``BENCH_*.json`` records against committed baselines.
+
+Usage::
+
+    python benchmarks/check_regression.py FRESH_DIR \
+        [--baseline bench_results] [--threshold 0.25] [--strict]
+
+``benchmarks/run_all.py`` writes one machine-readable ``BENCH_<name>.json``
+per target (wall seconds, environment, git revision). This tool compares a
+fresh directory of those records against the baselines committed under
+``bench_results/`` and reports per-target wall-time deltas. A target whose
+fresh ``seconds`` exceeds ``baseline * (1 + threshold)`` is flagged as a
+regression with a GitHub Actions ``::warning::`` annotation.
+
+Deliberately **warn-only by default** (exit 0): CI runners are shared and
+noisy, and the committed baselines were recorded on different hardware, so
+wall-second deltas are a smoke signal for a human to look at — not a merge
+gate. ``--strict`` flips regressions to exit 1 for local A/B runs on one
+quiet machine, where the comparison actually means something.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def load_records(directory: Path) -> dict[str, dict]:
+    """``{name: record}`` for every parseable BENCH_*.json in a directory."""
+    records: dict[str, dict] = {}
+    for path in sorted(directory.glob("BENCH_*.json")):
+        try:
+            record = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError) as exc:
+            print(f"::warning::unreadable benchmark record {path}: {exc}")
+            continue
+        name = record.get("name") or path.stem.removeprefix("BENCH_")
+        records[name] = record
+    return records
+
+
+def compare(
+    fresh: dict[str, dict], baseline: dict[str, dict], threshold: float
+) -> list[dict]:
+    """Per-target comparison rows; ``regressed`` marks over-threshold ones."""
+    rows = []
+    for name in sorted(fresh):
+        new_seconds = fresh[name].get("seconds")
+        base_record = baseline.get(name)
+        base_seconds = base_record.get("seconds") if base_record else None
+        row = {
+            "name": name,
+            "seconds": new_seconds,
+            "baseline_seconds": base_seconds,
+            "ratio": None,
+            "regressed": False,
+            "div_mismatch": False,
+        }
+        if base_record is not None and (
+            fresh[name].get("div") != base_record.get("div")
+        ):
+            # Different slicing presets time different workloads — a ratio
+            # between them is noise, not signal.
+            row["div_mismatch"] = True
+        elif (
+            isinstance(new_seconds, (int, float))
+            and isinstance(base_seconds, (int, float))
+            and base_seconds > 0
+        ):
+            row["ratio"] = new_seconds / base_seconds
+            row["regressed"] = row["ratio"] > 1.0 + threshold
+        rows.append(row)
+    return rows
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("fresh", help="directory of freshly generated "
+                                      "BENCH_*.json records")
+    parser.add_argument("--baseline", default="bench_results",
+                        help="directory of committed baseline records "
+                             "(default bench_results)")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="regression threshold as a fraction "
+                             "(default 0.25 = +25%% wall time)")
+    parser.add_argument("--report", default=None, metavar="PATH",
+                        help="also write the comparison as JSON to PATH")
+    parser.add_argument("--strict", action="store_true",
+                        help="exit 1 on any regression instead of warn-only")
+    args = parser.parse_args(argv)
+
+    fresh = load_records(Path(args.fresh))
+    baseline = load_records(Path(args.baseline))
+    if not fresh:
+        print(f"::warning::no BENCH_*.json records found in {args.fresh}")
+        return 0
+    rows = compare(fresh, baseline, args.threshold)
+
+    print(f"{'target':<24}{'baseline':>12}{'fresh':>12}{'ratio':>9}")
+    n_regressed = 0
+    for row in rows:
+        base = (f"{row['baseline_seconds']:.3f}s"
+                if row["baseline_seconds"] is not None else "(none)")
+        ratio = f"{row['ratio']:.2f}x" if row["ratio"] is not None else "-"
+        flag = "  << REGRESSED" if row["regressed"] else ""
+        if row["div_mismatch"]:
+            flag = "  (div mismatch, not compared)"
+        print(f"{row['name']:<24}{base:>12}{row['seconds']:>11.3f}s"
+              f"{ratio:>9}{flag}")
+        if row["regressed"]:
+            n_regressed += 1
+            print(
+                f"::warning title=bench regression::{row['name']} took "
+                f"{row['seconds']:.3f}s vs baseline "
+                f"{row['baseline_seconds']:.3f}s "
+                f"({(row['ratio'] - 1) * 100:+.0f}%, threshold "
+                f"+{args.threshold * 100:.0f}%)"
+            )
+    missing = sorted(set(fresh) - set(baseline))
+    if missing:
+        print(f"(no baseline yet for: {', '.join(missing)})")
+    print(f"{n_regressed} regression(s) over +{args.threshold * 100:.0f}% "
+          f"across {len(rows)} target(s)")
+
+    if args.report:
+        Path(args.report).write_text(
+            json.dumps({"threshold": args.threshold, "targets": rows},
+                       indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+    return 1 if (args.strict and n_regressed) else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -56,6 +56,7 @@ TARGETS = [
     ("ablation_devices", bench_ablation_devices.generate_series),
     ("session_reuse", bench_session_reuse.generate_series),
     ("batch_throughput", bench_batch_throughput.generate_series),
+    ("obs_overhead", bench_batch_throughput.generate_obs_overhead_series),
     ("serve", bench_serve.generate_series),
     ("lock_contention", bench_lock_contention.generate_series),
 ]

@@ -12,6 +12,8 @@ Subcommands mirror how the paper's tools are driven:
 - ``gpumem serve ref.fa [requests.jsonl]``    — long-lived JSONL server over
   one warm reference (``--tier process`` for multi-core; bursts above
   ``--admission-limit`` shed with a structured error, EOF drains).
+- ``gpumem stats s.jsonl [--follow]``         — render (or tail) the live
+  telemetry heartbeats a ``serve --stats-jsonl s.jsonl`` run appends.
 - ``gpumem match ... --trace out.json``       — record a Chrome-trace of the
   run (``--metrics`` dumps counters; see docs/observability.md).
 - ``gpumem index ref.fa -l 50``               — time/report the index build.
@@ -305,6 +307,8 @@ def cmd_serve(args) -> int:
             workers=args.workers,
             max_in_flight=args.max_in_flight,
             admission_limit=args.admission_limit,
+            telemetry_path=args.stats_jsonl,
+            telemetry_interval=args.stats_interval,
             tracer=tracer,
             min_length=args.min_length,
             seed_length=min(args.seed_length, args.min_length),
@@ -352,6 +356,85 @@ def cmd_serve(args) -> int:
               file=sys.stderr)
     _emit_observability(args, tracer)
     return 0
+
+
+def _format_stats_snapshot(snap: dict) -> str:
+    """One telemetry snapshot as a compact human-readable block."""
+    import datetime
+
+    lines = []
+    ts = snap.get("ts")
+    when = (
+        datetime.datetime.fromtimestamp(ts).strftime("%H:%M:%S")
+        if isinstance(ts, (int, float)) else "?"
+    )
+    lines.append(
+        f"[{when}] tier={snap.get('tier', '?')}  "
+        f"queue={snap.get('queue_depth', '?')}/{snap.get('admission_limit', '?')}  "
+        f"in_flight={snap.get('in_flight', '?')}/{snap.get('max_in_flight', '?')}"
+    )
+    lines.append(
+        f"  submitted={snap.get('submitted', 0)}  "
+        f"completed={snap.get('completed', 0)}  "
+        f"errors={snap.get('errors', 0)}  shed={snap.get('shed', 0)}  "
+        f"cancelled={snap.get('cancelled', 0)}"
+    )
+    latency = snap.get("latency")
+    if latency:
+        def ms(key):
+            value = latency.get(key)
+            return f"{value * 1e3:.2f}ms" if value is not None else "-"
+
+        lines.append(
+            f"  latency: n={latency.get('count', 0)}  mean={ms('mean')}  "
+            f"p50={ms('p50')}  p95={ms('p95')}  p99={ms('p99')}"
+        )
+    return "\n".join(lines)
+
+
+def cmd_stats(args) -> int:
+    import json
+    import time as _time
+
+    def render(raw_line: str) -> None:
+        raw_line = raw_line.strip()
+        if not raw_line:
+            return
+        if args.raw:
+            print(raw_line, flush=True)
+            return
+        try:
+            snap = json.loads(raw_line)
+        except ValueError:
+            print(f"# unparseable line: {raw_line[:80]}", file=sys.stderr)
+            return
+        print(_format_stats_snapshot(snap), flush=True)
+
+    try:
+        fh = open(args.stats_file, encoding="utf-8")
+    except OSError as exc:
+        print(f"error: cannot open {args.stats_file}: {exc}", file=sys.stderr)
+        return 2
+    with fh:
+        lines = fh.readlines()
+        if not args.follow:
+            if not lines:
+                print(f"{args.stats_file}: no snapshots yet", file=sys.stderr)
+                return 1
+            render(lines[-1])
+            return 0
+        # Follow mode: render everything so far, then tail for new lines.
+        for line in lines:
+            render(line)
+        try:
+            while True:
+                line = fh.readline()
+                if line:
+                    render(line)
+                else:
+                    _time.sleep(0.2)
+        except KeyboardInterrupt:
+            return 0
 
 
 def cmd_index(args) -> int:
@@ -634,12 +717,34 @@ def main(argv=None) -> int:
                         "it are shed (default 2x max-in-flight)")
     p.add_argument("--count-only", action="store_true",
                    help="emit only MEM counts per request, not the triplets")
+    p.add_argument("--stats-jsonl", metavar="PATH", default=None,
+                   help="append a telemetry snapshot (queue depth, in-flight, "
+                        "latency p50/p95/p99) to PATH as JSONL every "
+                        "--stats-interval seconds; watch with 'gpumem stats "
+                        "PATH --follow'")
+    p.add_argument("--stats-interval", type=float, default=1.0, metavar="SEC",
+                   help="telemetry heartbeat period (default 1.0s)")
     p.add_argument("--trace", metavar="PATH", default=None,
                    help="record a Chrome-trace JSON of the serving run")
     p.add_argument("--metrics", action="store_true",
                    help="print the run's metrics registry to stderr")
     p.add_argument("-v", "--verbose", action="store_true")
     p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser(
+        "stats",
+        help="render the latest telemetry snapshot of a serve run "
+             "(written by 'gpumem serve --stats-jsonl'); --follow tails "
+             "the stream live",
+    )
+    p.add_argument("stats_file", help="JSONL telemetry file being written "
+                                      "by 'gpumem serve --stats-jsonl'")
+    p.add_argument("--follow", action="store_true",
+                   help="keep reading: render each new snapshot as it lands "
+                        "(Ctrl-C to stop)")
+    p.add_argument("--raw", action="store_true",
+                   help="print the JSON lines verbatim instead of rendering")
+    p.set_defaults(fn=cmd_stats)
 
     p = sub.add_parser("index", help="build (and time) the GPUMEM index only")
     _add_match_args(p)

@@ -54,6 +54,7 @@ from repro.core.params import GpuMemParams
 from repro.core.pipeline import PipelineStats, as_codes
 from repro.core.session import MemSession
 from repro.errors import InvalidParameterError
+from repro.obs.shipping import merge_payload
 from repro.obs.tracer import Tracer, get_tracer
 from repro.sequence.fasta import FastaRecord
 from repro.types import MatchSet
@@ -407,6 +408,7 @@ class BatchRunner:
         if isinstance(result, (BatchResult, BatchError)):
             return result
         payload = result
+        merge_payload(self.tracer, payload.get("obs"))
         seconds = payload["seconds"]
         out: BatchResult | BatchError
         if payload["ok"]:

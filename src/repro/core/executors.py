@@ -36,6 +36,7 @@ import numpy as np
 
 from repro.analysis.lock_tracker import new_lock
 from repro.errors import InvalidParameterError
+from repro.obs.shipping import merge_payload
 from repro.obs.tracer import NULL_TRACER
 
 #: Names accepted by :func:`make_executor` (and ``GpuMemParams.executor``).
@@ -257,7 +258,9 @@ class ProcessPoolRowExecutor(RowExecutor):
             ]
             out: list = []
             for future in futures:
-                out.extend(future.result())
+                results, obs = future.result()
+                out.extend(results)
+                merge_payload(self.tracer, obs)
             sp.set(n_bands=len(bands))
         with self._lock:
             self._n_rows_done += len(out)
@@ -285,7 +288,9 @@ class ProcessPoolRowExecutor(RowExecutor):
             ]
             out: list = []
             for future in futures:
-                out.extend(future.result())
+                triples, obs = future.result()
+                out.extend(triples)
+                merge_payload(self.tracer, obs)
         with self._lock:
             self._n_rows_done += len(out)
         return out

@@ -103,6 +103,12 @@ class RowTaskSpec:
     #: session's warmth. ``None`` shares worker sessions by content alone
     #: (the always-warm batch/serve tiers, where only warmth matters).
     token: int | None = None
+    #: Ship worker-side observability home: the task runs under the
+    #: process-local :class:`~repro.obs.shipping.WorkerObs` tracer and the
+    #: result carries an :class:`~repro.obs.shipping.ObsPayload` (spans +
+    #: metric deltas) for the parent to merge. Set automatically by
+    #: :func:`make_spec` when the parent's tracer is enabled.
+    ship_obs: bool = False
 
 
 _token_counter = itertools.count(1)
@@ -130,7 +136,15 @@ def make_spec(
     token: int | None = None,
     tracer=None,
 ) -> RowTaskSpec:
-    """Build the picklable task spec for ``reference``/``params``/``query``."""
+    """Build the picklable task spec for ``reference``/``params``/``query``.
+
+    When the caller's tracer is enabled the spec asks workers to ship
+    their observability home (``ship_obs``) — kernel spans, session-cache
+    counters, and sanitizer events recorded inside the worker then land in
+    the parent's registry/trace instead of dying with the process.
+    """
+    from repro.obs.tracer import get_tracer
+
     return RowTaskSpec(
         ref=publish_reference(reference, tracer=tracer),
         params=worker_params(params),
@@ -140,6 +154,7 @@ def make_spec(
         use_cache=use_cache,
         assume_warm=assume_warm,
         token=token,
+        ship_obs=get_tracer(tracer).enabled,
     )
 
 
@@ -253,11 +268,29 @@ def registry_info() -> dict:
 #: Sessions one worker process keeps warm at once.
 WORKER_SESSION_CAPACITY = 4
 
-_worker_lock = threading.Lock()  # guards: _worker_refs, _worker_sessions
+_worker_lock = threading.Lock()  # guards: _worker_refs, _worker_sessions, _worker_obs
 #: fingerprint -> attached PackedSequence (holds the segment mapping open).
 _worker_refs: dict[str, PackedSequence] = {}
-#: (fingerprint, params) -> per-process MemSession.
+#: (fingerprint, params, token, ship_obs) -> per-process MemSession.
 _worker_sessions: OrderedDict[tuple, object] = OrderedDict()
+#: This process's span/metric capture state (created on first shipped task).
+_worker_obs = None
+
+
+def worker_obs():
+    """The process-local :class:`~repro.obs.shipping.WorkerObs` singleton.
+
+    Lives for the worker's whole life so its metric snapshot can turn
+    lifetime totals into per-payload increments; sessions built for
+    ``ship_obs`` specs record through its tracer.
+    """
+    global _worker_obs
+    from repro.obs.shipping import WorkerObs
+
+    with _worker_lock:
+        if _worker_obs is None:
+            _worker_obs = WorkerObs()
+        return _worker_obs
 
 
 def _worker_cleanup() -> None:
@@ -294,17 +327,24 @@ def _attach_codes(ref: ReferenceLocator) -> np.ndarray:
 
 
 def _session_for(spec: RowTaskSpec):
-    """The per-process session for ``(reference, params)``, LRU-cached."""
+    """The per-process session for ``(reference, params)``, LRU-cached.
+
+    ``ship_obs`` joins the key: an instrumented session records through
+    the worker tracer, an uninstrumented one must stay null-traced, and
+    the two must never be conflated (in practice one parent run is
+    homogeneous, so the split costs nothing).
+    """
     from repro.core.session import MemSession
 
-    key = (spec.ref.fingerprint, spec.params, spec.token)
+    key = (spec.ref.fingerprint, spec.params, spec.token, spec.ship_obs)
     with _worker_lock:
         session = _worker_sessions.get(key)
         if session is not None:
             _worker_sessions.move_to_end(key)
             return session
     codes = _attach_codes(spec.ref)
-    session = MemSession(codes, spec.params)
+    tracer = worker_obs().tracer if spec.ship_obs else None
+    session = MemSession(codes, spec.params, tracer=tracer)
     with _worker_lock:
         session = _worker_sessions.setdefault(key, session)
         _worker_sessions.move_to_end(key)
@@ -322,13 +362,23 @@ def _ensure_warm(session) -> float:
 
 # -- worker entry points -------------------------------------------------------
 
-def run_row_band(spec: RowTaskSpec, rows: list[int]) -> list:
+def _collect_obs(spec: RowTaskSpec):
+    """This task's :class:`~repro.obs.shipping.ObsPayload` (or ``None``)."""
+    if not spec.ship_obs:
+        return None
+    return worker_obs().collect()
+
+
+def run_row_band(spec: RowTaskSpec, rows: list[int]) -> tuple[list, object]:
     """Run the index+match stages for a band of tile rows (worker side).
 
-    Returns the picklable :class:`~repro.core.pipeline.RowResult` list in
-    band order. With ``assume_warm`` the worker session is fully warmed
-    first, so every row reports ``cache_hit=True`` / zero index seconds —
-    the same stats a warm serial session produces.
+    Returns ``(results, obs)``: the picklable
+    :class:`~repro.core.pipeline.RowResult` list in band order, plus the
+    task's :class:`~repro.obs.shipping.ObsPayload` when the spec ships
+    observability (``None`` otherwise). With ``assume_warm`` the worker
+    session is fully warmed first, so every row reports
+    ``cache_hit=True`` / zero index seconds — the same stats a warm serial
+    session produces.
     """
     from repro.core.pipeline import Pipeline
 
@@ -339,27 +389,31 @@ def run_row_band(spec: RowTaskSpec, rows: list[int]) -> list:
             _ensure_warm(session)
         pipeline, cache = session.pipeline, session
     else:
-        pipeline, cache = Pipeline(spec.params), None
+        tracer = worker_obs().tracer if spec.ship_obs else None
+        pipeline, cache = Pipeline(spec.params, tracer=tracer), None
     query = np.frombuffer(spec.query, dtype=np.uint8)
     plan = pipeline.plan_for(codes.size, query.size)
     query_kmers = pipeline.prep.run(query)
-    return [
+    results = [
         pipeline.process_row(codes, query, query_kmers, plan, row, cache=cache)
         for row in rows
     ]
+    return results, _collect_obs(spec)
 
 
-def build_rows(spec: RowTaskSpec, rows: list[int]) -> list:
+def build_rows(spec: RowTaskSpec, rows: list[int]) -> tuple[list, object]:
     """Build row indexes fresh (worker side): ``(row, index, seconds)``.
 
     Always measures a real build — the warm path's Table-III semantics —
     and feeds the result into this worker's session cache so subsequent
-    queries here start warm.
+    queries here start warm. Returns ``(triples, obs)`` like
+    :func:`run_row_band`.
     """
     from repro.core.pipeline import Pipeline
 
     codes = _attach_codes(spec.ref)
-    pipeline = Pipeline(spec.params)
+    tracer = worker_obs().tracer if spec.ship_obs else None
+    pipeline = Pipeline(spec.params, tracer=tracer)
     plan = pipeline.plan_for(codes.size, spec.params.tile_size)
     session = _session_for(spec) if spec.use_cache else None
     out = []
@@ -368,7 +422,7 @@ def build_rows(spec: RowTaskSpec, rows: list[int]) -> list:
         if session is not None:
             session.put(row, index)
         out.append((row, index, seconds))
-    return out
+    return out, _collect_obs(spec)
 
 
 def run_query_task(spec: RowTaskSpec, index: int, label: str | None) -> dict:
@@ -377,7 +431,10 @@ def run_query_task(spec: RowTaskSpec, index: int, label: str | None) -> dict:
     Never raises: failures come back as a structured ``ok=False`` payload
     (with a picklable exception) so one poisoned query cannot poison the
     pool protocol. The worker session is warmed on first touch, so steady
-    state is match-only cost.
+    state is match-only cost. The ``"obs"`` key carries the task's
+    :class:`~repro.obs.shipping.ObsPayload` (``None`` unless the spec
+    ships observability) — on errors too, so a failing query's worker
+    spans still reach the parent trace.
     """
     t0 = time.perf_counter()
     try:
@@ -393,6 +450,7 @@ def run_query_task(spec: RowTaskSpec, index: int, label: str | None) -> dict:
             "array": result.array,
             "stats": result.stats.to_dict(),
             "seconds": time.perf_counter() - t0,
+            "obs": _collect_obs(spec),
         }
     except Exception as exc:  # noqa: BLE001 - isolation boundary
         try:
@@ -406,4 +464,5 @@ def run_query_task(spec: RowTaskSpec, index: int, label: str | None) -> dict:
             "label": label,
             "error": error,
             "seconds": time.perf_counter() - t0,
+            "obs": _collect_obs(spec),
         }

@@ -19,19 +19,31 @@ machine must stay responsive while saying "no" cheaply once it is full.
 - **Graceful drain** — :meth:`close` stops admission, finishes (or, with
   ``drain=False``, cancels) everything already admitted, and waits for
   in-flight work; no request is ever left with an unresolved future.
+- **Live telemetry** — with ``telemetry_path`` set, a daemon thread
+  appends a JSONL heartbeat every ``telemetry_interval`` seconds: queue
+  depth, in-flight count, admission/shed/drain counters, and request
+  latency p50/p95/p99 straight from the ``serve.request_seconds``
+  histogram. ``gpumem stats`` renders the stream; :meth:`snapshot` is the
+  same data as a dict for in-process consumers.
 
 Every request records a ``serve.request`` span and ``serve.*`` metrics
 through the standard ``tracer=`` argument (see ``docs/observability.md``).
+In the process tier each worker ships its spans and metric deltas home
+with the result (:mod:`repro.obs.shipping`), so the parent trace shows
+worker execution lanes and the parent registry aggregates worker-side
+``proc.*`` / ``session.cache.*`` series.
 """
 
 from __future__ import annotations
 
+import json
 import os
 import queue
 import threading
 import time
 from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any
 
 from repro.analysis.lock_tracker import new_lock
@@ -43,6 +55,7 @@ from repro.errors import (
     ServerClosedError,
     ServerOverloadedError,
 )
+from repro.obs.shipping import merge_payload
 from repro.obs.tracer import Tracer, get_tracer
 from repro.types import MatchSet
 
@@ -86,8 +99,11 @@ class MemServer:
 
     Parameters mirror :class:`~repro.core.batch.BatchRunner` where they
     overlap; the serving-specific knobs are ``tier`` (execution substrate),
-    ``max_in_flight`` (concurrent executions) and ``admission_limit``
-    (queued-but-not-executing bound; default ``2 * max_in_flight``).
+    ``max_in_flight`` (concurrent executions), ``admission_limit``
+    (queued-but-not-executing bound; default ``2 * max_in_flight``), and
+    ``telemetry_path`` / ``telemetry_interval`` (append a
+    :meth:`snapshot` JSONL heartbeat to that file every interval seconds;
+    off when the path is ``None``).
 
     Example::
 
@@ -106,6 +122,8 @@ class MemServer:
         workers: int | None = None,
         max_in_flight: int | None = None,
         admission_limit: int | None = None,
+        telemetry_path=None,
+        telemetry_interval: float = 1.0,
         tracer: Tracer | None = None,
         lock_factory=None,
         **kwargs,
@@ -176,6 +194,21 @@ class MemServer:
             target=self._dispatch_loop, name="gpumem-serve-dispatch", daemon=True
         )
         self._dispatcher.start()
+        if telemetry_interval <= 0:
+            raise InvalidParameterError(
+                f"telemetry_interval must be > 0, got {telemetry_interval}"
+            )
+        self.telemetry_path = Path(telemetry_path) if telemetry_path else None
+        self.telemetry_interval = float(telemetry_interval)
+        self._telemetry_stop = threading.Event()
+        self._telemetry_lock = (lock_factory or new_lock)("serve.telemetry")  # guards: telemetry file appends
+        self._telemetry: threading.Thread | None = None
+        if self.telemetry_path is not None:
+            self._telemetry = threading.Thread(
+                target=self._telemetry_loop, name="gpumem-serve-telemetry",
+                daemon=True,
+            )
+            self._telemetry.start()
 
     # -- client surface ---------------------------------------------------------
     def submit(self, query, *, label: str | None = None) -> Future:
@@ -229,6 +262,24 @@ class MemServer:
         counts["tier"] = self.tier
         return counts
 
+    def snapshot(self) -> dict:
+        """One telemetry heartbeat: :meth:`stats` + request-latency summary.
+
+        What the telemetry thread appends as a JSONL line (and what
+        ``gpumem stats`` renders): wall-clock timestamp, queue/in-flight
+        depths, lifetime counters, and — when metrics are on —
+        count/mean/p50/p95/p99 of ``serve.request_seconds``, estimated
+        from the histogram buckets
+        (:meth:`~repro.obs.metrics.Histogram.summary`).
+        """
+        snap = self.stats()
+        snap["ts"] = time.time()
+        metrics = self.tracer.metrics
+        if metrics.enabled:
+            summary = metrics.histogram("serve.request_seconds").summary()
+            snap["latency"] = summary or None
+        return snap
+
     # -- lifecycle --------------------------------------------------------------
     def close(self, *, drain: bool = True) -> dict:
         """Stop admission, finish (or cancel) queued work, wait, report.
@@ -249,6 +300,11 @@ class MemServer:
         self._dispatcher.join()
         self._drain_leftovers()
         self._pool.shutdown(wait=True)
+        if self._telemetry is not None:
+            self._telemetry_stop.set()
+            self._telemetry.join()
+            if not already:
+                self._emit_snapshot()  # final heartbeat: the drained state
         seconds = time.perf_counter() - t0
         metrics = self.tracer.metrics
         if metrics.enabled and not already:
@@ -361,11 +417,29 @@ class MemServer:
         payload = procpool.get_pool(self.workers).submit(
             procpool.run_query_task, spec, request.index, request.label
         ).result()
+        # Merge before checking ok: a failing request's worker spans and
+        # counters still belong in the parent trace.
+        merge_payload(self.tracer, payload.get("obs"))
         if not payload["ok"]:
             raise payload["error"]
         return MatchSet(
             payload["array"], stats=PipelineStats.from_dict(payload["stats"])
         )
+
+    # -- telemetry ---------------------------------------------------------------
+    def _telemetry_loop(self) -> None:
+        while not self._telemetry_stop.wait(self.telemetry_interval):
+            self._emit_snapshot()
+
+    def _emit_snapshot(self) -> None:
+        """Append one :meth:`snapshot` as a JSONL line (errors swallowed)."""
+        try:
+            line = json.dumps(self.snapshot(), sort_keys=True)
+            with self._telemetry_lock:
+                with self.telemetry_path.open("a", encoding="utf-8") as fh:
+                    fh.write(line + "\n")
+        except Exception:  # pragma: no cover - telemetry must never kill serving
+            pass
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

@@ -41,6 +41,12 @@ from repro.obs.metrics import (
     NullMetricsRegistry,
     series_name,
 )
+from repro.obs.shipping import (
+    SPAN_SHIP_CAP,
+    ObsPayload,
+    WorkerObs,
+    merge_payload,
+)
 from repro.obs.tracer import NULL_TRACER, NullTracer, Span, Tracer, get_tracer
 
 __all__ = [
@@ -56,6 +62,10 @@ __all__ = [
     "Histogram",
     "NULL_METRICS",
     "series_name",
+    "ObsPayload",
+    "WorkerObs",
+    "merge_payload",
+    "SPAN_SHIP_CAP",
     "to_chrome_trace",
     "write_chrome_trace",
     "validate_chrome_trace",

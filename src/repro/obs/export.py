@@ -4,7 +4,10 @@ Three consumers, three formats:
 
 - :func:`to_chrome_trace` / :func:`write_chrome_trace` — the Trace Event
   Format understood by ``chrome://tracing`` and Perfetto ("X" complete
-  events, microsecond timestamps, one lane per Python thread), with the
+  events, microsecond timestamps, one lane per Python thread, one lane
+  *group* per process: the parent pid plus any worker pids whose spans
+  were shipped home via :mod:`repro.obs.shipping`), with human-readable
+  ``process_name``/``thread_name`` "M" metadata events per lane and the
   run's metrics embedded as a top-level ``"metrics"`` block;
 - :func:`format_span_tree` — a human-readable nested tree for terminals;
 - :func:`validate_chrome_trace` — schema checks used by the tests and the
@@ -18,6 +21,7 @@ from __future__ import annotations
 
 import io
 import json
+import os
 from pathlib import Path
 
 #: Trace Event Format phase codes we emit / accept.
@@ -31,6 +35,47 @@ def _json_default(obj):
     if callable(item):
         return item()
     return str(obj)
+
+
+def lane_metadata(
+    pid: int, lanes, *, process: str, sort_index: int = 0,
+    thread_prefix: str = "worker",
+) -> list[dict]:
+    """``process_name``/``thread_name`` "M" metadata events for one pid.
+
+    These are what turn bare pid/tid integers into readable lane headers in
+    ``chrome://tracing``/Perfetto; ``process_sort_index`` pins the parent
+    process above its workers regardless of pid ordering.
+    """
+    meta = [
+        {
+            "name": "process_name",
+            "ph": METADATA_PHASE,
+            "pid": pid,
+            "tid": 0,
+            "args": {"name": process},
+        },
+        {
+            "name": "process_sort_index",
+            "ph": METADATA_PHASE,
+            "pid": pid,
+            "tid": 0,
+            "args": {"sort_index": sort_index},
+        },
+    ]
+    for lane in sorted(lanes):
+        meta.append(
+            {
+                "name": "thread_name",
+                "ph": METADATA_PHASE,
+                "pid": pid,
+                "tid": lane,
+                "args": {
+                    "name": "main" if lane == 0 else f"{thread_prefix}-{lane}"
+                },
+            }
+        )
+    return meta
 
 
 def chrome_trace_events(spans, *, pid: int = 0) -> list[dict]:
@@ -54,34 +99,39 @@ def chrome_trace_events(spans, *, pid: int = 0) -> list[dict]:
             }
         )
     events.sort(key=lambda e: (e["tid"], e["ts"]))
-    meta = [
-        {
-            "name": "process_name",
-            "ph": METADATA_PHASE,
-            "pid": pid,
-            "tid": 0,
-            "args": {"name": "gpumem"},
-        }
-    ]
-    for lane in sorted(lanes):
-        meta.append(
-            {
-                "name": "thread_name",
-                "ph": METADATA_PHASE,
-                "pid": pid,
-                "tid": lane,
-                "args": {"name": "main" if lane == 0 else f"worker-{lane}"},
-            }
-        )
+    meta = lane_metadata(pid, lanes, process="gpumem", thread_prefix="worker")
     return meta + events
 
 
 def to_chrome_trace(tracer, **metadata) -> dict:
-    """The full Chrome-trace document for one tracer's recorded run."""
+    """The full Chrome-trace document for one tracer's recorded run.
+
+    The parent process's spans render under its real pid; any
+    :attr:`~repro.obs.tracer.Tracer.foreign_events` (worker spans shipped
+    across the process boundary, already pid-tagged and time-aligned by
+    :mod:`repro.obs.shipping`) follow in their own lane groups, each with
+    ``process_name``/``thread_name`` metadata so the trace viewer shows
+    "gpumem worker (pid N)" instead of bare integers.
+    """
+    parent_pid = os.getpid()
+    events = chrome_trace_events(tracer.spans, pid=parent_pid)
+    foreign = list(getattr(tracer, "foreign_events", ()) or ())
+    if foreign:
+        by_pid: dict[int, set] = {}
+        for ev in foreign:
+            by_pid.setdefault(ev.get("pid", 0), set()).add(ev.get("tid", 0))
+        for order, (pid, lanes) in enumerate(sorted(by_pid.items()), start=1):
+            events.extend(lane_metadata(
+                pid, lanes,
+                process=f"gpumem worker (pid {pid})",
+                sort_index=order, thread_prefix="lane",
+            ))
+        foreign.sort(key=lambda e: (e.get("pid", 0), e.get("tid", 0), e["ts"]))
+        events.extend(foreign)
     doc = {
-        "traceEvents": chrome_trace_events(tracer.spans),
+        "traceEvents": events,
         "displayTimeUnit": "ms",
-        "metadata": {"tool": "repro.obs", **metadata},
+        "metadata": {"tool": "repro.obs", "parent_pid": parent_pid, **metadata},
         "metrics": tracer.metrics.to_dict(),
     }
     return doc

@@ -14,6 +14,14 @@ Everything is thread-safe (per-instrument locks; instrument creation under
 a registry lock). :class:`NullMetricsRegistry` is the disabled counterpart
 wired into :data:`repro.obs.tracer.NULL_TRACER` — every operation is a
 no-op so uninstrumented runs pay nothing.
+
+Cross-process support (see :mod:`repro.obs.shipping`): a registry can
+:meth:`~MetricsRegistry.snapshot` its state, compute the
+:meth:`~MetricsRegistry.delta_since` a previous snapshot as a picklable
+list of series entries, and :meth:`~MetricsRegistry.merge` such a delta
+from another process — counters add, gauges last-write-win, histograms
+combine bucket-by-bucket. Long-lived workers therefore ship *increments*,
+never lifetime totals, and the parent registry stays a true aggregate.
 """
 
 from __future__ import annotations
@@ -56,6 +64,11 @@ class Counter:
         with self._lock:
             self.value += n
 
+    def state(self):
+        """Snapshot value for delta computation (see registry snapshot)."""
+        with self._lock:
+            return self.value
+
     def to_dict(self) -> dict:
         with self._lock:
             return {"type": "counter", "value": self.value}
@@ -79,6 +92,11 @@ class Gauge:
     def add(self, delta: float) -> None:
         with self._lock:
             self.value += delta
+
+    def state(self):
+        """Snapshot value for delta computation (see registry snapshot)."""
+        with self._lock:
+            return self.value
 
     def to_dict(self) -> dict:
         with self._lock:
@@ -121,6 +139,101 @@ class Histogram:
     def mean(self) -> float:
         with self._lock:
             return self.sum / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float | None:
+        """Estimate the ``q``-th percentile (``q`` in [0, 100]).
+
+        Classic bucketed-histogram estimation (the `histogram_quantile`
+        approach): find the bucket holding the target rank and interpolate
+        linearly inside it, clamped to the observed ``[min, max]`` so tiny
+        samples never report an upper bound nothing reached. ``None`` until
+        something has been observed.
+        """
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile q must be in [0, 100], got {q}")
+        with self._lock:
+            count = self.count
+            lo, hi = self.min, self.max
+            bucket_counts = list(self.bucket_counts)
+        if not count:
+            return None
+        target = (q / 100.0) * count
+        cum = 0
+        for i, n in enumerate(bucket_counts):
+            if not n:
+                continue
+            if cum + n >= target:
+                lower = self.buckets[i - 1] if i > 0 else lo
+                upper = self.buckets[i] if i < len(self.buckets) else hi
+                lower = max(min(lower, hi), lo)
+                upper = max(min(upper, hi), lo)
+                fraction = (target - cum) / n
+                return lower + (upper - lower) * max(0.0, min(1.0, fraction))
+            cum += n
+        return hi
+
+    def summary(self) -> dict:
+        """Latency-style rollup: count/mean/min/max plus p50/p95/p99."""
+        with self._lock:
+            count = self.count
+            total = self.sum
+            lo, hi = self.min, self.max
+        return {
+            "count": count,
+            "mean": total / count if count else 0.0,
+            "min": lo if count else None,
+            "max": hi if count else None,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
+        }
+
+    def state(self):
+        """Snapshot tuple for delta computation (see registry snapshot)."""
+        with self._lock:
+            return (
+                self.count, self.sum, self.min, self.max,
+                tuple(self.bucket_counts),
+            )
+
+    def merge_delta(self, entry: dict) -> None:
+        """Fold another process's histogram delta into this instrument.
+
+        ``entry`` is one registry-delta item (see
+        :meth:`MetricsRegistry.delta_since`). Matching bucket ladders merge
+        bucket-by-bucket; a foreign ladder is re-bucketed by each source
+        bucket's upper bound so no observation is ever dropped.
+        """
+        # An absent "buckets" key means the default ladder (delta_since
+        # omits it to keep steady-state payloads small).
+        src_buckets = tuple(entry.get("buckets") or DEFAULT_BUCKETS)
+        src_counts = list(entry.get("bucket_counts") or ())
+        with self._lock:
+            self.count += int(entry.get("count", 0))
+            self.sum += float(entry.get("sum", 0.0))
+            if entry.get("min") is not None:
+                self.min = min(self.min, float(entry["min"]))
+            if entry.get("max") is not None:
+                self.max = max(self.max, float(entry["max"]))
+            if src_buckets == self.buckets and len(src_counts) == len(
+                self.bucket_counts
+            ):
+                for i, n in enumerate(src_counts):
+                    self.bucket_counts[i] += int(n)
+            else:  # foreign ladder: re-bucket on the source upper bounds
+                for i, n in enumerate(src_counts):
+                    if not n:
+                        continue
+                    value = (
+                        src_buckets[i] if i < len(src_buckets)
+                        else float(entry.get("max") or float("inf"))
+                    )
+                    for j, bound in enumerate(self.buckets):
+                        if value <= bound:
+                            self.bucket_counts[j] += int(n)
+                            break
+                    else:
+                        self.bucket_counts[-1] += int(n)
 
     def to_dict(self) -> dict:
         # Snapshot under the lock, derive (mean) outside it: calling the
@@ -181,6 +294,102 @@ class MetricsRegistry:
         """Get-or-create the :class:`Histogram` for ``name`` + labels."""
         return self._get(Histogram, name, labels, buckets=buckets)
 
+    # -- cross-process merge ---------------------------------------------------
+    def snapshot(self) -> dict:
+        """Opaque state map for :meth:`delta_since` (per-series scalars)."""
+        with self._lock:
+            instruments = list(self._instruments.items())
+        return {key: inst.state() for key, inst in instruments}
+
+    def delta_since(self, snapshot: dict | None) -> list[dict]:
+        """Picklable series increments recorded since ``snapshot``.
+
+        Each entry is ``{"kind", "name", "labels", ...}``: counters carry
+        the added ``value``, gauges their latest value (last-write-wins on
+        merge), histograms the added ``count``/``sum``/``bucket_counts``
+        plus lifetime ``min``/``max`` (idempotent under ``min``/``max``
+        combination). Unchanged series are omitted, so steady-state
+        payloads stay near-empty.
+        """
+        return self.delta_and_snapshot(snapshot)[0]
+
+    def delta_and_snapshot(self, snapshot: dict | None) -> tuple[list[dict], dict]:
+        """One-pass :meth:`delta_since` + :meth:`snapshot` combination.
+
+        The worker-side shipping hot path runs per task; reading each
+        instrument's state once (instead of once for the delta and again
+        for the next baseline) halves its lock traffic.
+        """
+        snapshot = snapshot or {}
+        with self._lock:
+            instruments = list(self._instruments.items())
+        out: list[dict] = []
+        new_snapshot: dict = {}
+        for key, inst in instruments:
+            prev = snapshot.get(key)
+            state = inst.state()
+            new_snapshot[key] = state
+            base = {"name": inst.name, "labels": dict(inst.labels)}
+            if isinstance(inst, Histogram):
+                count, total, lo, hi, bucket_counts = state
+                p_count, p_total, p_buckets = (
+                    (prev[0], prev[1], prev[4]) if prev else
+                    (0, 0.0, (0,) * len(bucket_counts))
+                )
+                if count == p_count:
+                    continue
+                entry = {
+                    "kind": "histogram", **base,
+                    "count": count - p_count,
+                    "sum": total - p_total,
+                    "min": lo if count else None,
+                    "max": hi if count else None,
+                    "bucket_counts": [
+                        n - p for n, p in
+                        zip(bucket_counts, p_buckets, strict=True)
+                    ],
+                }
+                # The default ladder is implied (merge() assumes it when the
+                # key is absent); shipping it per entry per payload would
+                # dominate steady-state payload size.
+                if inst.buckets != DEFAULT_BUCKETS:
+                    entry["buckets"] = list(inst.buckets)
+                out.append(entry)
+            elif isinstance(inst, Gauge):
+                if prev is not None and state == prev:
+                    continue
+                out.append({"kind": "gauge", **base, "value": state})
+            else:
+                delta = state - (prev or 0)
+                if not delta:
+                    continue
+                out.append({"kind": "counter", **base, "value": delta})
+        return out, new_snapshot
+
+    def merge(self, delta: Iterable[dict]) -> None:
+        """Fold a :meth:`delta_since` payload from another registry in.
+
+        Counters add, gauges take the shipped (latest) value, histograms
+        combine via :meth:`Histogram.merge_delta`. Series are created on
+        first sight, so a fresh parent registry absorbs any worker's
+        taxonomy without pre-declaration.
+        """
+        if not self.enabled:
+            return
+        for entry in delta:
+            labels = entry.get("labels") or {}
+            kind = entry.get("kind")
+            if kind == "counter":
+                self.counter(entry["name"], **labels).inc(entry["value"])
+            elif kind == "gauge":
+                self.gauge(entry["name"], **labels).set(entry["value"])
+            elif kind == "histogram":
+                self.histogram(
+                    entry["name"],
+                    buckets=tuple(entry.get("buckets") or DEFAULT_BUCKETS),
+                    **labels,
+                ).merge_delta(entry)
+
     # -- export ----------------------------------------------------------------
     def instruments(self) -> list:
         """Every recorded instrument, sorted by (name, labels)."""
@@ -235,6 +444,18 @@ class _NullInstrument:
 
     def observe(self, value) -> None:
         pass
+
+    def percentile(self, q) -> None:
+        return None
+
+    def summary(self) -> dict:
+        return {}
+
+    def merge_delta(self, entry) -> None:
+        pass
+
+    def state(self):
+        return None
 
 
 _NULL_INSTRUMENT = _NullInstrument()

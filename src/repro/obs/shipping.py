@@ -1,0 +1,173 @@
+"""Cross-process observability: ship worker spans + metric deltas home.
+
+The process tier (:mod:`repro.core.procpool`) runs the interesting work in
+spawned workers, and a worker's :class:`~repro.obs.tracer.Tracer` dies
+with its process — everything recorded there was invisible to the parent
+until this module. The protocol:
+
+- **Worker side** — each worker process owns one :class:`WorkerObs`
+  (a process-local tracer + metrics registry + last-shipped snapshot).
+  Task entry points run their sessions under ``worker_obs().tracer`` and
+  call :meth:`WorkerObs.collect` on the way out, producing a compact,
+  picklable :class:`ObsPayload`: the task's finished spans (capped at
+  :data:`SPAN_SHIP_CAP`, overflow *counted*, never silently dropped) plus
+  the metric *deltas* since the previous payload — long-lived workers ship
+  increments, not lifetime totals.
+- **Parent side** — :func:`merge_payload` folds a payload into the parent
+  tracer: metric deltas merge series-preservingly into the parent registry
+  (:meth:`~repro.obs.metrics.MetricsRegistry.merge`), and spans become
+  Chrome-trace events in a ``pid``-keyed lane group, time-aligned via each
+  tracer's ``wall_epoch`` so parent dispatch and worker execution render
+  side by side in one validated trace. Shipping itself is measured:
+  ``proc.obs.payloads`` / ``proc.obs.spans`` / ``proc.obs.spans_dropped``
+  counters land beside the shipped series.
+
+Nothing here imports multiprocessing — the payload is plain picklable
+data, so the same protocol would carry spans off any future substrate
+(sockets, files, a real cluster).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from dataclasses import dataclass, field
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import Span, Tracer
+
+#: Spans one payload may carry; the rest are dropped and counted in
+#: :attr:`ObsPayload.dropped_spans`. One query on a warm session records a
+#: few spans per tile row, so hundreds cover realistic tasks while keeping
+#: the pickle a few tens of KiB at worst.
+SPAN_SHIP_CAP = 512
+
+
+@dataclass(frozen=True)
+class ObsPayload:
+    """One worker task's observability freight (fully picklable)."""
+
+    #: Recording process id — the trace lane group these spans render in.
+    pid: int
+    #: Wall-clock instant of the recording tracer's epoch; span times are
+    #: relative to it, so the parent can re-anchor them on its own epoch.
+    wall_epoch: float
+    #: Serialized spans: ``{name, cat, tid, start, end, attrs}`` dicts with
+    #: times in seconds relative to :attr:`wall_epoch`.
+    spans: list[dict] = field(default_factory=list)
+    #: Spans recorded but not shipped (over :data:`SPAN_SHIP_CAP`).
+    dropped_spans: int = 0
+    #: Metric increments since the worker's previous payload (the
+    #: :meth:`~repro.obs.metrics.MetricsRegistry.delta_since` format).
+    metrics: list[dict] = field(default_factory=list)
+
+    @property
+    def n_spans(self) -> int:
+        return len(self.spans)
+
+
+def serialize_span(span: Span) -> dict:
+    """One span as the payload wire dict (attrs copied, never shared)."""
+    return {
+        "name": span.name,
+        "cat": span.cat,
+        "tid": span.tid,
+        "start": span.start,
+        "end": span.end if span.end is not None else span.start,
+        "attrs": dict(span.attrs),
+    }
+
+
+class WorkerObs:
+    """A worker process's capture state: tracer + delta baseline.
+
+    One per process (see :func:`repro.core.procpool.worker_obs`); tasks
+    run under :attr:`tracer` and ship with :meth:`collect`. The metric
+    snapshot advances at each collect, so concurrent tasks in one worker
+    are safe: whichever collects first ships the increments, the other
+    ships what remains.
+    """
+
+    def __init__(self, *, cap: int = SPAN_SHIP_CAP):
+        self.tracer = Tracer(metrics=MetricsRegistry())
+        self.cap = int(cap)
+        self._lock = threading.Lock()  # guards: _snapshot
+        self._snapshot: dict = {}
+
+    def collect(self) -> ObsPayload:
+        """Drain spans + metric deltas into a fresh :class:`ObsPayload`."""
+        spans, dropped = self.tracer.drain_spans(self.cap)
+        with self._lock:
+            delta, self._snapshot = self.tracer.metrics.delta_and_snapshot(
+                self._snapshot
+            )
+        return ObsPayload(
+            pid=os.getpid(),
+            wall_epoch=self.tracer.wall_epoch,
+            spans=[serialize_span(s) for s in spans],
+            dropped_spans=dropped,
+            metrics=delta,
+        )
+
+
+def payload_events(payload: ObsPayload, *, parent_wall_epoch: float) -> list[dict]:
+    """Chrome-trace "X" events of a payload, re-anchored on the parent epoch.
+
+    Worker span times are seconds since the worker tracer's epoch; the
+    shared wall clock turns them into seconds since the *parent's* epoch so
+    both processes share one time axis. If a worker somehow predates the
+    parent tracer, the whole lane shifts to zero as a block — per-lane
+    nesting survives any uniform shift, so the trace stays schema-valid.
+    """
+    offset = payload.wall_epoch - parent_wall_epoch
+    if payload.spans:
+        first = min(s["start"] for s in payload.spans)
+        if first + offset < 0.0:
+            offset = -first
+    events = []
+    for span in payload.spans:
+        events.append({
+            "name": span["name"],
+            "cat": span["cat"],
+            "ph": "X",
+            "ts": (span["start"] + offset) * 1e6,
+            "dur": (span["end"] - span["start"]) * 1e6,
+            "pid": payload.pid,
+            "tid": span["tid"],
+            "args": span["attrs"],
+        })
+    return events
+
+
+def merge_payload(tracer, payload: ObsPayload | None) -> None:
+    """Fold one worker payload into the parent tracer (no-op on ``None``).
+
+    Metric deltas merge into ``tracer.metrics`` under their own series
+    names (so ``proc.*`` / ``session.cache.*`` counters recorded inside
+    workers aggregate exactly as if recorded in-process); spans join
+    ``tracer.foreign_events`` with ``pid`` provenance for the multi-lane
+    Chrome export. Disabled tracers ignore everything.
+    """
+    if payload is None or not getattr(tracer, "enabled", False):
+        return
+    tracer.metrics.merge(payload.metrics)
+    if payload.spans:
+        tracer.add_foreign_events(
+            payload_events(payload, parent_wall_epoch=tracer.wall_epoch)
+        )
+    metrics = tracer.metrics
+    if metrics.enabled:
+        metrics.counter("proc.obs.payloads").inc()
+        metrics.counter("proc.obs.spans").inc(payload.n_spans)
+        if payload.dropped_spans:
+            metrics.counter("proc.obs.spans_dropped").inc(payload.dropped_spans)
+
+
+__all__ = [
+    "SPAN_SHIP_CAP",
+    "ObsPayload",
+    "WorkerObs",
+    "merge_payload",
+    "payload_events",
+    "serialize_span",
+]

@@ -90,12 +90,20 @@ class Tracer:
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._clock = clock
         self._epoch = clock()
-        self._lock = threading.Lock()  # guards: _next_id, _tids, spans
+        #: Wall-clock instant of the tracer epoch: span starts are relative
+        #: to the epoch, so this anchors them on an axis every process
+        #: shares (how worker spans line up with parent spans in one trace).
+        self.wall_epoch = time.time()
+        self._lock = threading.Lock()  # guards: _next_id, _tids, spans, foreign_events
         self._local = threading.local()
         self._next_id = 0
         self._tids: dict[int, int] = {}
         #: Finished spans in close order (exported by :mod:`repro.obs.export`).
         self.spans: list[Span] = []
+        #: Chrome-trace-ready events merged from *other processes* (worker
+        #: span shipping, :mod:`repro.obs.shipping`); each carries its own
+        #: ``pid`` so the exporter renders one lane group per worker.
+        self.foreign_events: list[dict] = []
 
     # -- span lifecycle --------------------------------------------------------
     def span(self, name: str, cat: str = "pipeline", **attrs) -> Span:
@@ -154,11 +162,35 @@ class Tracer:
 
         return deco
 
+    # -- cross-process shipping ------------------------------------------------
+    def drain_spans(self, cap: int | None = None) -> tuple[list[Span], int]:
+        """Remove and return finished spans, oldest first, up to ``cap``.
+
+        The worker side of span shipping: each task drains what it recorded
+        into an :class:`~repro.obs.shipping.ObsPayload`, so a long-lived
+        worker never accumulates unbounded span history. Returns
+        ``(spans, n_dropped)`` — spans beyond the cap are *discarded* (and
+        counted), not left behind, keeping worker memory bounded even when
+        one task records a pathological number of spans.
+        """
+        with self._lock:
+            spans = self.spans
+            self.spans = []
+        if cap is None or len(spans) <= cap:
+            return spans, 0
+        return spans[:cap], len(spans) - cap
+
+    def add_foreign_events(self, events: list[dict]) -> None:
+        """Adopt ready-made trace events shipped from another process."""
+        with self._lock:
+            self.foreign_events.extend(events)
+
     # -- introspection / export ------------------------------------------------
     def clear(self) -> None:
         """Drop all finished spans (metrics are kept; use metrics.clear())."""
         with self._lock:
             self.spans.clear()
+            self.foreign_events.clear()
 
     def find(self, name: str) -> list[Span]:
         """All finished spans with exactly this name."""
@@ -221,9 +253,17 @@ class NullTracer(Tracer):
         # Deliberately *not* calling super().__init__: no lock/state needed.
         self.metrics = NULL_METRICS
         self.spans = []
+        self.foreign_events = []
+        self.wall_epoch = 0.0
 
     def span(self, name: str, cat: str = "pipeline", **attrs) -> _NullSpan:
         return _NULL_SPAN
+
+    def drain_spans(self, cap: int | None = None) -> tuple[list, int]:
+        return [], 0
+
+    def add_foreign_events(self, events: list[dict]) -> None:
+        pass
 
     def wrap(self, name: str | None = None, cat: str = "func"):
         def deco(fn):

@@ -334,3 +334,21 @@ class TestProcessTier:
     def test_invalid_tier_rejected(self, reference):
         with pytest.raises(InvalidParameterError, match="tier"):
             BatchRunner(reference, min_length=30, tier="gpu")
+
+    def test_worker_obs_merged_into_parent(self, reference):
+        import os
+
+        tracer = Tracer()
+        queries = _queries(reference, 4, seed=5)
+        runner = BatchRunner(
+            reference, min_length=30, tier="process", workers=2, tracer=tracer
+        )
+        results = list(runner.run(queries))
+        assert all(r.ok for r in results)
+        metrics = tracer.metrics.to_dict()
+        # one payload per task, carrying the worker-side cache counters
+        assert metrics["proc.obs.payloads"]["value"] == len(queries)
+        assert metrics["session.cache.queries"]["value"] == len(queries)
+        # worker spans joined the parent trace under their own pids
+        pids = {ev["pid"] for ev in tracer.foreign_events}
+        assert pids and os.getpid() not in pids

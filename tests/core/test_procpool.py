@@ -179,3 +179,73 @@ class TestRunQueryTask:
         assert not payload["ok"]
         err = pickle.loads(pickle.dumps(payload["error"]))
         assert isinstance(err, Exception)
+
+
+class TestObsShipping:
+    """Worker entry points carry observability freight when asked."""
+
+    def _spec(self, data, **kw):
+        from repro.obs import Tracer
+
+        ref, _ = data
+        return procpool.make_spec(ref, params(), tracer=Tracer(), **kw)
+
+    def test_make_spec_sets_ship_obs_from_tracer(self, data):
+        ref, _ = data
+        assert procpool.make_spec(ref, params()).ship_obs is False
+        assert self._spec(data).ship_obs is True
+
+    def test_run_query_task_obs_none_without_tracer(self, data):
+        ref, qry = data
+        spec = procpool.make_spec(ref, params(), query=qry)
+        payload = procpool.run_query_task(spec, 0, None)
+        assert payload["ok"]
+        assert payload["obs"] is None
+
+    def test_run_query_task_ships_payload(self, data):
+        from repro.obs.shipping import ObsPayload
+
+        _, qry = data
+        spec = self._spec(data, query=qry)
+        payload = procpool.run_query_task(spec, 0, "q0")
+        assert payload["ok"]
+        obs = payload["obs"]
+        assert isinstance(obs, ObsPayload)
+        assert obs.n_spans >= 1  # at least the pipeline spans
+        assert pickle.loads(pickle.dumps(payload))["obs"] == obs
+
+    def test_failing_query_task_still_ships_obs(self, data):
+        from repro.obs.shipping import ObsPayload
+
+        spec = self._spec(data, query=np.full(30, 9, dtype=np.uint8))
+        payload = procpool.run_query_task(spec, 0, None)
+        assert not payload["ok"]
+        assert isinstance(payload["error"], Exception)
+        assert isinstance(payload["obs"], ObsPayload)
+
+    def test_run_row_band_tuple_shape(self, data):
+        from repro.obs.shipping import ObsPayload
+
+        ref, qry = data
+        plain = procpool.make_spec(ref, params(), query=qry)
+        results, obs = procpool.run_row_band(plain, [0])
+        assert results and obs is None
+        shipped_results, shipped = procpool.run_row_band(
+            self._spec(data, query=qry), [0]
+        )
+        assert isinstance(shipped, ObsPayload)
+        assert [r.row for r in shipped_results] == [r.row for r in results]
+
+    def test_build_rows_tuple_shape(self, data):
+        from repro.obs.shipping import ObsPayload
+
+        ref, _ = data
+        triples, obs = procpool.build_rows(
+            procpool.make_spec(ref, params(), use_cache=False), [0]
+        )
+        assert triples and obs is None
+        triples2, shipped = procpool.build_rows(
+            self._spec(data, use_cache=False), [0]
+        )
+        assert isinstance(shipped, ObsPayload)
+        assert [t[0] for t in triples2] == [t[0] for t in triples]

@@ -1,7 +1,9 @@
 """MemServer: admission control, burst shedding, graceful drain, tiers."""
 
+import json
 import pickle
 import threading
+import time
 
 import numpy as np
 import pytest
@@ -203,3 +205,175 @@ class TestMetrics:
         assert "serve.request_seconds" in formatted
         names = {s.name for s in tracer.spans}
         assert "serve.request" in names
+
+
+class TestServeCounters:
+    """The serve.* metric taxonomy through a full burst-shed-drain cycle."""
+
+    def test_counters_through_burst_shed_drain(self, data):
+        from repro.obs import Tracer
+
+        ref, qry = data
+        tracer = Tracer()
+        gate = threading.Event()
+        server = MemServer(
+            ref, params(), workers=1, max_in_flight=1, admission_limit=2,
+            tracer=tracer,
+        )
+        real = server.session.find_mems
+
+        def gated(query):
+            gate.wait(timeout=60)
+            return real(query)
+
+        server.session.find_mems = gated
+        admitted = []
+        try:
+            with pytest.raises(ServerOverloadedError):
+                for _ in range(50):
+                    admitted.append(server.submit(qry))
+        finally:
+            gate.set()
+            server.close()
+        for future in admitted:
+            assert future.result(timeout=60).ok
+
+        metrics = tracer.metrics.to_dict()
+        n_admitted = metrics["serve.requests{outcome=admitted}"]["value"]
+        assert n_admitted == len(admitted)
+        assert metrics["serve.requests{outcome=shed}"]["value"] >= 1
+        assert metrics["serve.requests{outcome=ok}"]["value"] == len(admitted)
+        assert "serve.requests{outcome=error}" not in metrics
+        # drain resets the depth gauge; latency histograms saw every request
+        assert metrics["serve.queue_depth"]["value"] == 0
+        assert metrics["serve.request_seconds"]["count"] == len(admitted)
+        assert metrics["serve.queue_wait_seconds"]["count"] == len(admitted)
+        assert metrics["serve.drain_seconds"]["count"] == 1
+
+    def test_error_outcome_counted(self, data):
+        from repro.obs import Tracer
+
+        ref, _ = data
+        tracer = Tracer()
+        with MemServer(ref, params(), workers=1, tracer=tracer) as server:
+            bad = server.request(np.full(30, 9, dtype=np.uint8), timeout=60)
+            assert not bad.ok
+        metrics = tracer.metrics.to_dict()
+        assert metrics["serve.requests{outcome=error}"]["value"] == 1
+        assert "serve.requests{outcome=ok}" not in metrics
+
+    def test_cancelled_outcome_counted(self, data):
+        from repro.obs import Tracer
+
+        ref, qry = data
+        tracer = Tracer()
+        gate = threading.Event()
+        server = MemServer(
+            ref, params(), workers=1, max_in_flight=1, admission_limit=8,
+            tracer=tracer,
+        )
+        real = server.session.find_mems
+        server.session.find_mems = lambda q: (gate.wait(60), real(q))[1]
+        futures = [server.submit(qry) for _ in range(4)]
+        gate.set()
+        server.close(drain=False)
+        results = [f.result(timeout=60) for f in futures]
+        n_cancelled = sum(
+            isinstance(r.error, ServerClosedError) for r in results
+        )
+        metrics = tracer.metrics.to_dict()
+        counted = metrics.get("serve.requests{outcome=cancelled}", {})
+        assert counted.get("value", 0) == n_cancelled
+
+
+class TestTelemetry:
+    def test_interval_validated(self, data):
+        ref, _ = data
+        with pytest.raises(InvalidParameterError):
+            MemServer(ref, params(), workers=1, telemetry_interval=0)
+
+    def test_snapshot_keys(self, data):
+        from repro.obs import Tracer
+
+        ref, qry = data
+        with MemServer(ref, params(), workers=1, tracer=Tracer()) as server:
+            assert server.request(qry, timeout=60).ok
+            snap = server.snapshot()
+        assert snap["tier"] == "thread"
+        assert snap["ts"] > 0
+        assert snap["completed"] == 1
+        latency = snap["latency"]
+        assert latency["count"] == 1
+        assert latency["p50"] is not None
+        json.dumps(snap)  # the heartbeat line must be JSON-clean
+
+    def test_snapshot_without_metrics_has_no_latency(self, data):
+        ref, qry = data
+        with MemServer(ref, params(), workers=1) as server:
+            assert server.request(qry, timeout=60).ok
+            snap = server.snapshot()
+        assert "latency" not in snap
+
+    def test_heartbeats_appended_and_final_snapshot(self, data, tmp_path):
+        ref, qry = data
+        stats_file = tmp_path / "stats.jsonl"
+        with MemServer(
+            ref, params(), workers=1,
+            telemetry_path=stats_file, telemetry_interval=0.05,
+        ) as server:
+            assert server.request(qry, timeout=60).ok
+            time.sleep(0.2)  # let a few heartbeats land
+        lines = stats_file.read_text().strip().splitlines()
+        assert len(lines) >= 2  # periodic beats plus the close() snapshot
+        snaps = [json.loads(line) for line in lines]
+        assert all(s["tier"] == "thread" for s in snaps)
+        # the final heartbeat shows the drained end state
+        assert snaps[-1]["completed"] == 1
+        assert snaps[-1]["in_flight"] == 0
+        assert snaps[-1]["queue_depth"] == 0
+        # timestamps advance monotonically
+        ts = [s["ts"] for s in snaps]
+        assert ts == sorted(ts)
+
+    def test_no_telemetry_thread_without_path(self, data):
+        ref, _ = data
+        server = MemServer(ref, params(), workers=1)
+        try:
+            assert server._telemetry is None
+        finally:
+            server.close()
+
+
+class TestProcessTierObs:
+    def test_worker_obs_merged_into_parent(self, data):
+        import os
+
+        from repro.obs import Tracer, validate_chrome_trace
+
+        ref, qry = data
+        tracer = Tracer()
+        with MemServer(
+            ref, params(), tier="process", workers=2, tracer=tracer
+        ) as server:
+            for _ in range(3):
+                assert server.request(qry, timeout=120).ok
+        metrics = tracer.metrics.to_dict()
+        # worker-side series aggregated in the parent registry
+        assert metrics["proc.obs.payloads"]["value"] >= 3
+        assert metrics["proc.obs.spans"]["value"] >= 3
+        assert metrics["session.cache.queries"]["value"] == 3
+        # worker spans landed as pid-tagged foreign events
+        worker_pids = {ev["pid"] for ev in tracer.foreign_events}
+        assert worker_pids and os.getpid() not in worker_pids
+        doc = tracer.to_chrome_trace()
+        assert validate_chrome_trace(doc) == []
+
+    def test_no_foreign_events_without_tracer(self, data):
+        from repro.obs import NULL_TRACER
+
+        ref, qry = data
+        before = len(NULL_TRACER.foreign_events)
+        with MemServer(ref, params(), tier="process", workers=1) as server:
+            assert server.request(qry, timeout=120).ok
+        # uninstrumented serving ships nothing across the boundary
+        assert len(NULL_TRACER.foreign_events) == before == 0

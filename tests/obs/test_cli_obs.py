@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import json
+import os
 
 import pytest
 
@@ -99,7 +100,7 @@ class TestTraceSubcommand:
         rc = main(["trace", str(out), "--tree"])
         assert rc == 0
         text = capsys.readouterr().out
-        assert "-- lane pid=0 tid=0 --" in text
+        assert f"-- lane pid={os.getpid()} tid=0 --" in text
         assert "stage:tile_match" in text
 
     def test_invalid_schema_exit_one(self, tmp_path, capsys):

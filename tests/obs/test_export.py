@@ -25,6 +25,7 @@ from repro.obs import (
     top_spans,
     validate_chrome_trace,
 )
+from repro.obs.shipping import WorkerObs, merge_payload
 
 STAGES = ("stage:prep", "stage:row_index", "stage:tile_match", "stage:host_merge")
 
@@ -262,3 +263,70 @@ class TestSessionCacheSurfacing:
             doc, default=lambda o: o.item() if hasattr(o, "item") else str(o)
         )
         assert '"n": 3' in dumped
+
+
+class TestMultiPidLanes:
+    """Worker payloads merged into a parent must export as pid lane groups."""
+
+    @pytest.fixture(scope="class")
+    def doc(self):
+        import os
+
+        parent = Tracer()
+        with parent.span("dispatch", cat="proc"):
+            pass
+        # Simulate two workers: WorkerObs payloads whose pid we rewrite so
+        # the export sees lanes distinct from the parent's real pid.
+        for fake_pid in (70001, 70002):
+            obs = WorkerObs()
+            with obs.tracer.span("task", cat="proc"):
+                with obs.tracer.span("stage:tile_match", cat="pipeline"):
+                    pass
+            obs.tracer.metrics.counter("session.cache.queries").inc()
+            payload = obs.collect()
+            object.__setattr__(payload, "pid", fake_pid)
+            merge_payload(parent, payload)
+        trace = to_chrome_trace(parent, run="multi-pid")
+        trace["_parent_pid"] = os.getpid()
+        return trace
+
+    def test_schema_valid(self, doc):
+        assert validate_chrome_trace(doc) == []
+
+    def test_worker_lanes_present(self, doc):
+        pids = {
+            ev["pid"] for ev in doc["traceEvents"] if ev.get("ph") == "X"
+        }
+        assert pids == {doc["_parent_pid"], 70001, 70002}
+
+    def test_lane_metadata_names_workers(self, doc):
+        names = {
+            ev["pid"]: ev["args"]["name"]
+            for ev in doc["traceEvents"]
+            if ev.get("ph") == "M" and ev["name"] == "process_name"
+        }
+        assert names[doc["_parent_pid"]] == "gpumem"
+        assert names[70001] == "gpumem worker (pid 70001)"
+        assert names[70002] == "gpumem worker (pid 70002)"
+
+    def test_sort_index_pins_parent_first(self, doc):
+        sort_keys = {
+            ev["pid"]: ev["args"]["sort_index"]
+            for ev in doc["traceEvents"]
+            if ev.get("ph") == "M" and ev["name"] == "process_sort_index"
+        }
+        assert sort_keys[doc["_parent_pid"]] == 0
+        assert sort_keys[70001] >= 1 and sort_keys[70002] >= 1
+
+    def test_metadata_records_parent_pid(self, doc):
+        assert doc["metadata"]["parent_pid"] == doc["_parent_pid"]
+
+    def test_merged_worker_metrics_in_block(self, doc):
+        assert doc["metrics"]["session.cache.queries"]["value"] == 2
+        assert doc["metrics"]["proc.obs.payloads"]["value"] == 2
+
+    def test_event_tree_renders_worker_lanes(self, doc):
+        clean = {k: v for k, v in doc.items() if not k.startswith("_")}
+        tree = format_event_tree(clean)
+        assert "-- lane pid=70001 tid=0 --" in tree
+        assert "stage:tile_match" in tree

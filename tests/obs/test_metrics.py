@@ -5,6 +5,8 @@ from __future__ import annotations
 import json
 import threading
 
+import pytest
+
 from repro.obs import (
     NULL_METRICS,
     MetricsRegistry,
@@ -117,3 +119,147 @@ class TestNullRegistry:
         c.add(1)
         c.observe(1)
         assert NULL_METRICS.to_dict() == {}
+
+class TestPercentiles:
+    def test_percentile_empty_is_none(self):
+        h = MetricsRegistry().histogram("h")
+        assert h.percentile(50) is None
+        s = h.summary()
+        assert s["count"] == 0
+        assert s["min"] is None and s["max"] is None
+        assert s["p50"] is None and s["p99"] is None
+
+    def test_percentile_validates_q(self):
+        h = MetricsRegistry().histogram("h")
+        with pytest.raises(ValueError):
+            h.percentile(-1)
+        with pytest.raises(ValueError):
+            h.percentile(101)
+
+    def test_percentile_single_observation_is_exact(self):
+        h = MetricsRegistry().histogram("h")
+        h.observe(0.042)
+        # One sample: every percentile collapses to it (bucket interpolation
+        # is clamped to the observed [min, max]).
+        for q in (0, 50, 95, 100):
+            assert h.percentile(q) == pytest.approx(0.042)
+
+    def test_percentile_tracks_distribution(self):
+        h = MetricsRegistry().histogram("h")
+        for _ in range(90):
+            h.observe(0.005)   # 0.001-0.01 bucket
+        for _ in range(10):
+            h.observe(5.0)     # 1-10 bucket
+        p50, p99 = h.percentile(50), h.percentile(99)
+        assert p50 is not None and p50 <= 0.01
+        assert p99 is not None and p99 >= 1.0
+
+    def test_percentiles_monotone(self):
+        h = MetricsRegistry().histogram("h")
+        rng = [1e-4, 3e-3, 0.02, 0.4, 1.2, 8.0, 0.07, 0.9]
+        for v in rng * 5:
+            h.observe(v)
+        qs = [h.percentile(q) for q in (10, 50, 90, 99)]
+        assert qs == sorted(qs)
+        assert min(rng) <= qs[0] and qs[-1] <= max(rng)
+
+    def test_summary_fields(self):
+        h = MetricsRegistry().histogram("h")
+        for v in (0.01, 0.02, 0.03):
+            h.observe(v)
+        s = h.summary()
+        assert s["count"] == 3
+        assert s["min"] == 0.01 and s["max"] == 0.03
+        assert s["mean"] == pytest.approx(0.02)
+        assert set(s) == {"count", "mean", "min", "max", "p50", "p95", "p99"}
+        assert 0.01 <= s["p50"] <= s["p95"] <= s["p99"] <= 0.03
+
+
+class TestDeltaMerge:
+    def test_counter_delta_and_merge(self):
+        worker, parent = MetricsRegistry(), MetricsRegistry()
+        snap = worker.snapshot()
+        worker.counter("c", k="v").inc(3)
+        delta = worker.delta_since(snap)
+        assert [d["kind"] for d in delta] == ["counter"]
+        parent.counter("c", k="v").inc(10)
+        parent.merge(delta)
+        assert parent.counter("c", k="v").value == 13
+
+    def test_unchanged_series_omitted(self):
+        worker = MetricsRegistry()
+        worker.counter("c").inc()
+        worker.gauge("g").set(4)
+        worker.histogram("h").observe(1.0)
+        snap = worker.snapshot()
+        assert worker.delta_since(snap) == []
+
+    def test_deltas_are_increments_not_totals(self):
+        worker = MetricsRegistry()
+        worker.counter("c").inc(5)
+        snap = worker.snapshot()
+        worker.counter("c").inc(2)
+        (entry,) = worker.delta_since(snap)
+        assert entry["value"] == 2  # not the lifetime 7
+
+    def test_gauge_merge_last_write_wins(self):
+        worker, parent = MetricsRegistry(), MetricsRegistry()
+        parent.gauge("depth").set(9)
+        worker.gauge("depth").set(4)
+        parent.merge(worker.delta_since(None))
+        assert parent.gauge("depth").value == 4
+
+    def test_histogram_merge_preserves_shape(self):
+        worker, parent = MetricsRegistry(), MetricsRegistry()
+        direct = MetricsRegistry()
+        values = [0.002, 0.05, 0.05, 3.0]
+        snap = worker.snapshot()
+        for v in values:
+            worker.histogram("h").observe(v)
+            direct.histogram("h").observe(v)
+        parent.merge(worker.delta_since(snap))
+        merged, expected = parent.histogram("h").to_dict(), direct.histogram("h").to_dict()
+        assert merged["count"] == expected["count"]
+        assert merged["sum"] == pytest.approx(expected["sum"])
+        assert merged["min"] == expected["min"]
+        assert merged["max"] == expected["max"]
+        assert merged["buckets"] == expected["buckets"]
+
+    def test_histogram_merge_rebuckets_foreign_ladder(self):
+        worker, parent = MetricsRegistry(), MetricsRegistry()
+        worker.histogram("h", buckets=(1.0, 100.0)).observe(50.0)
+        parent.histogram("h").observe(0.5)  # default ladder, same series
+        parent.merge(worker.delta_since(None))
+        d = parent.histogram("h").to_dict()
+        assert d["count"] == 2
+        # The foreign observation re-buckets on its source upper bound
+        # (100.0), landing in the parent ladder's 100.0 bucket.
+        assert d["buckets"]["100.0"] == 1
+        assert d["min"] == 0.5 and d["max"] == 50.0
+
+    def test_delta_and_snapshot_advances_baseline(self):
+        worker = MetricsRegistry()
+        worker.counter("c").inc()
+        delta, snap = worker.delta_and_snapshot(None)
+        assert len(delta) == 1
+        delta2, _ = worker.delta_and_snapshot(snap)
+        assert delta2 == []
+
+    def test_merge_into_disabled_registry_noop(self):
+        worker = MetricsRegistry()
+        worker.counter("c").inc()
+        NULL_METRICS.merge(worker.delta_since(None))
+        assert NULL_METRICS.to_dict() == {}
+
+    def test_delta_roundtrips_through_json(self):
+        worker = MetricsRegistry()
+        worker.counter("c").inc(2)
+        worker.histogram("h").observe(0.5)
+        worker.gauge("g").set(7)
+        delta = worker.delta_since(None)
+        rebuilt = json.loads(json.dumps(delta))
+        parent = MetricsRegistry()
+        parent.merge(rebuilt)
+        assert parent.counter("c").value == 2
+        assert parent.histogram("h").count == 1
+        assert parent.gauge("g").value == 7

@@ -1,0 +1,154 @@
+"""Cross-process shipping tests: WorkerObs capture, payload merge, lanes."""
+
+from __future__ import annotations
+
+import os
+import pickle
+
+from repro.obs import NULL_TRACER, Tracer
+from repro.obs.shipping import (
+    SPAN_SHIP_CAP,
+    ObsPayload,
+    WorkerObs,
+    merge_payload,
+    payload_events,
+    serialize_span,
+)
+
+
+def _record_some_work(obs: WorkerObs) -> None:
+    with obs.tracer.span("task", cat="proc"):
+        with obs.tracer.span("stage:match", cat="pipeline"):
+            pass
+    obs.tracer.metrics.counter("session.cache.miss").inc()
+    obs.tracer.metrics.histogram("stage.seconds", stage="match").observe(0.01)
+
+
+class TestWorkerObs:
+    def test_collect_drains_spans_and_metrics(self):
+        obs = WorkerObs()
+        _record_some_work(obs)
+        payload = obs.collect()
+        assert payload.pid == os.getpid()
+        assert payload.wall_epoch == obs.tracer.wall_epoch
+        assert [s["name"] for s in payload.spans] == ["stage:match", "task"]
+        assert payload.dropped_spans == 0
+        assert {m["name"] for m in payload.metrics} == {
+            "session.cache.miss", "stage.seconds",
+        }
+        # Drained: the worker tracer holds nothing for the next task.
+        assert obs.tracer.spans == []
+
+    def test_second_collect_ships_increments_only(self):
+        obs = WorkerObs()
+        obs.tracer.metrics.counter("c").inc(5)
+        obs.collect()
+        obs.tracer.metrics.counter("c").inc(2)
+        payload = obs.collect()
+        (entry,) = [m for m in payload.metrics if m["name"] == "c"]
+        assert entry["value"] == 2
+        # Nothing new -> empty freight.
+        final = obs.collect()
+        assert final.spans == [] and final.metrics == []
+
+    def test_span_cap_counts_overflow(self):
+        obs = WorkerObs(cap=3)
+        for i in range(5):
+            with obs.tracer.span(f"s{i}"):
+                pass
+        payload = obs.collect()
+        assert payload.n_spans == 3
+        assert payload.dropped_spans == 2
+        # Over-cap spans are discarded, not deferred to the next payload.
+        assert obs.collect().spans == []
+
+    def test_payload_is_picklable(self):
+        obs = WorkerObs()
+        _record_some_work(obs)
+        payload = obs.collect()
+        clone = pickle.loads(pickle.dumps(payload))
+        assert clone == payload
+
+    def test_default_cap(self):
+        assert WorkerObs().cap == SPAN_SHIP_CAP
+
+
+class TestSerializeSpan:
+    def test_wire_fields(self):
+        tracer = Tracer()
+        with tracer.span("work", cat="demo", row=3) as sp:
+            sp.set(n=7)
+        wire = serialize_span(tracer.spans[0])
+        assert wire["name"] == "work" and wire["cat"] == "demo"
+        assert wire["attrs"] == {"row": 3, "n": 7}
+        assert wire["end"] >= wire["start"] >= 0.0
+        # attrs are copied, never aliased into the payload
+        assert wire["attrs"] is not tracer.spans[0].attrs
+
+
+class TestPayloadEvents:
+    def _payload(self, spans, wall_epoch=100.0, pid=4242):
+        return ObsPayload(pid=pid, wall_epoch=wall_epoch, spans=spans)
+
+    def test_reanchors_on_parent_epoch(self):
+        span = {"name": "w", "cat": "c", "tid": 0, "start": 0.5, "end": 0.7,
+                "attrs": {}}
+        events = payload_events(self._payload([span], wall_epoch=101.0),
+                                parent_wall_epoch=100.0)
+        (ev,) = events
+        # worker started 1s after the parent epoch, span at +0.5s -> 1.5s
+        assert ev["ts"] == (1.0 + 0.5) * 1e6
+        assert ev["dur"] == (0.7 - 0.5) * 1e6
+        assert ev["pid"] == 4242 and ev["ph"] == "X"
+
+    def test_negative_offset_clamps_whole_lane(self):
+        spans = [
+            {"name": "a", "cat": "c", "tid": 0, "start": 0.2, "end": 0.3,
+             "attrs": {}},
+            {"name": "b", "cat": "c", "tid": 0, "start": 0.4, "end": 0.5,
+             "attrs": {}},
+        ]
+        # worker epoch predates the parent by 10s: shift the lane as a
+        # block so the earliest span lands at ts=0 and nesting survives
+        events = payload_events(self._payload(spans, wall_epoch=90.0),
+                                parent_wall_epoch=100.0)
+        assert events[0]["ts"] == 0.0
+        assert events[1]["ts"] == (0.4 - 0.2) * 1e6
+        assert all(ev["ts"] >= 0.0 for ev in events)
+
+
+class TestMergePayload:
+    def test_none_is_noop(self):
+        tracer = Tracer()
+        merge_payload(tracer, None)
+        assert tracer.foreign_events == []
+        assert tracer.metrics.to_dict() == {}
+
+    def test_disabled_tracer_ignores_payload(self):
+        obs = WorkerObs()
+        _record_some_work(obs)
+        merge_payload(NULL_TRACER, obs.collect())
+        assert NULL_TRACER.foreign_events == []
+
+    def test_merges_metrics_and_counts_shipping(self):
+        obs = WorkerObs()
+        _record_some_work(obs)
+        parent = Tracer()
+        parent.metrics.counter("session.cache.miss").inc(10)
+        merge_payload(parent, obs.collect())
+        # series-preserving merge: worker counters add into parent series
+        assert parent.metrics.counter("session.cache.miss").value == 11
+        assert parent.metrics.histogram("stage.seconds", stage="match").count == 1
+        # and the shipping itself is measured
+        assert parent.metrics.counter("proc.obs.payloads").value == 1
+        assert parent.metrics.counter("proc.obs.spans").value == 2
+        assert len(parent.foreign_events) == 2
+
+    def test_dropped_spans_counter(self):
+        obs = WorkerObs(cap=1)
+        for _ in range(3):
+            with obs.tracer.span("s"):
+                pass
+        parent = Tracer()
+        merge_payload(parent, obs.collect())
+        assert parent.metrics.counter("proc.obs.spans_dropped").value == 2

@@ -190,3 +190,77 @@ class TestServe:
         assert all("mems" not in l for l in lines)
         assert "# served: 2" in out.err
         assert "tier: thread" in out.err
+
+
+class TestStats:
+    def _stats_file(self, tmp_path, n=2):
+        import json
+
+        path = tmp_path / "stats.jsonl"
+        snaps = []
+        for i in range(n):
+            snaps.append({
+                "ts": 1_700_000_000.0 + i, "tier": "thread",
+                "queue_depth": i, "admission_limit": 4,
+                "in_flight": 1, "max_in_flight": 2,
+                "submitted": i + 1, "completed": i, "errors": 0,
+                "shed": 0, "cancelled": 0,
+                "latency": {"count": i, "mean": 0.002, "min": 0.001,
+                            "max": 0.003, "p50": 0.002, "p95": 0.003,
+                            "p99": 0.003},
+            })
+        path.write_text("".join(json.dumps(s) + "\n" for s in snaps))
+        return str(path), snaps
+
+    def test_renders_last_snapshot(self, tmp_path, capsys):
+        path, snaps = self._stats_file(tmp_path, n=3)
+        assert main(["stats", path]) == 0
+        out = capsys.readouterr().out
+        assert "tier=thread" in out
+        assert f"queue={snaps[-1]['queue_depth']}/4" in out
+        assert "p95=3.00ms" in out
+        # only the newest snapshot is rendered
+        assert out.count("tier=thread") == 1
+
+    def test_raw_prints_json_line(self, tmp_path, capsys):
+        import json
+
+        path, snaps = self._stats_file(tmp_path)
+        assert main(["stats", path, "--raw"]) == 0
+        line = capsys.readouterr().out.strip()
+        assert json.loads(line) == snaps[-1]
+
+    def test_missing_file_exits_2(self, tmp_path, capsys):
+        assert main(["stats", str(tmp_path / "absent.jsonl")]) == 2
+        assert "cannot open" in capsys.readouterr().err
+
+    def test_empty_file_exits_1(self, tmp_path, capsys):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        assert main(["stats", str(path)]) == 1
+        assert "no snapshots yet" in capsys.readouterr().err
+
+    def test_serve_stats_jsonl_end_to_end(self, tmp_path, serve_fasta, capsys):
+        rp, reqs = serve_fasta
+        stats = tmp_path / "s.jsonl"
+        rc = main(["serve", rp, reqs, "-l", "25", "-s", "8",
+                   "--stats-jsonl", str(stats), "--stats-interval", "0.05",
+                   "--metrics"])
+        assert rc == 0
+        capsys.readouterr()  # drop the serve output
+        assert main(["stats", str(stats)]) == 0
+        out = capsys.readouterr().out
+        assert "tier=thread" in out
+        assert "latency:" in out  # --metrics turns the summary on
+
+
+@pytest.fixture
+def serve_fasta(tmp_path, fasta_pair):
+    import json
+
+    rp, _, _, qry = fasta_pair
+    from repro.sequence.alphabet import decode
+
+    reqs = tmp_path / "reqs.jsonl"
+    reqs.write_text(json.dumps({"id": "r1", "query": decode(qry[:400])}) + "\n")
+    return rp, str(reqs)
