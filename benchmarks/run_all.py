@@ -37,6 +37,7 @@ import bench_lock_contention
 import bench_sa_builders
 import bench_serve
 import bench_session_reuse
+import bench_store_warmstart
 import bench_table2_datasets
 import bench_table3_index_build
 import bench_table4_extraction
@@ -55,6 +56,7 @@ TARGETS = [
     ("sa_builders", bench_sa_builders.generate_series),
     ("ablation_devices", bench_ablation_devices.generate_series),
     ("session_reuse", bench_session_reuse.generate_series),
+    ("store_warmstart", bench_store_warmstart.generate_series),
     ("batch_throughput", bench_batch_throughput.generate_series),
     ("obs_overhead", bench_batch_throughput.generate_obs_overhead_series),
     ("serve", bench_serve.generate_series),

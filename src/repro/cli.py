@@ -70,6 +70,44 @@ def _add_match_args(p: argparse.ArgumentParser) -> None:
                         "'gpumem trace PATH')")
     p.add_argument("--metrics", action="store_true",
                    help="print the run's metrics registry to stderr")
+    p.add_argument("--index-store", metavar="DIR", default=None,
+                   help="persistent index store: cache row indexes under DIR "
+                        "so later runs (and worker processes) warm-start "
+                        "from disk instead of rebuilding "
+                        "(same as REPRO_INDEX_STORE=DIR)")
+
+
+def _activate_index_store(args):
+    """Install ``--index-store`` as the process-wide store default.
+
+    Setting :data:`~repro.index.store.STORE_ENV_VAR` (rather than threading
+    a handle through every variant signature) makes every downstream
+    consumer — sessions built deep inside ``find_rare_mems``, spawned
+    procpool workers, the batch tier — resolve the same store. Returns the
+    parent-process handle (for stats), or ``None`` when the flag is unset.
+    """
+    path = getattr(args, "index_store", None)
+    if not path:
+        return None
+    import os
+
+    from repro.index.store import STORE_ENV_VAR, store_at
+
+    os.environ[STORE_ENV_VAR] = path
+    return store_at(path)
+
+
+def _print_store_stats(store) -> None:
+    if store is None:
+        return
+    s = store.stats()
+    print(
+        f"# index store {s['cache_dir']}: "
+        f"{s['hot_hits']} hot / {s['warm_hits']} warm hits, "
+        f"{s['builds']} builds, {s['bytes_mmapped']} bytes mmapped, "
+        f"{s['n_bundles']} bundles on disk",
+        file=sys.stderr,
+    )
 
 
 def _make_cli_tracer(args):
@@ -103,6 +141,7 @@ def cmd_match(args) -> int:
     reference = _read_single_fasta(args.reference, args.invalid)
     seed_length = min(args.seed_length, args.min_length)
     tracer = _make_cli_tracer(args)
+    store = _activate_index_store(args)
     common = dict(
         seed_length=seed_length, step=args.step, backend=args.backend,
         executor=args.executor, workers=args.workers,
@@ -159,6 +198,7 @@ def cmd_match(args) -> int:
                   f"errors: {n_errors}  "
                   f"index rows cached: {info['n_cached']}  "
                   f"cache hits: {info['hits']}", file=sys.stderr)
+            _print_store_stats(store)
         _emit_observability(args, tracer)
         return 1 if n_errors else 0
 
@@ -212,6 +252,7 @@ def cmd_match(args) -> int:
             if key in stats:
                 print(f"# {key}: {stats[key]:.4f}s", file=sys.stderr)
         print(f"# matches: {len(rows)}", file=sys.stderr)
+        _print_store_stats(store)
     _emit_observability(args, tracer)
     return 0
 
@@ -445,6 +486,7 @@ def cmd_index(args) -> int:
 
     reference = _read_single_fasta(args.reference, args.invalid)
     tracer = _make_cli_tracer(args)
+    store = _activate_index_store(args)
     params = GpuMemParams(
         min_length=args.min_length,
         seed_length=min(args.seed_length, args.min_length),
@@ -454,6 +496,7 @@ def cmd_index(args) -> int:
     )
     seconds = GpuMem(params, tracer=tracer).index_only(reference)
     print(f"index build: {seconds:.4f}s  ({params.describe()})")
+    _print_store_stats(store)
     if args.save:
         from repro.index.kmer_index import build_kmer_index
         from repro.index.serialize import save_kmer_index
@@ -750,6 +793,10 @@ def main(argv=None) -> int:
     _add_match_args(p)
     p.add_argument("--save", metavar="PATH", default=None,
                    help="also save the full-reference locs/ptrs index (.npz)")
+    p.add_argument("--store", metavar="DIR", dest="index_store",
+                   help="alias for --index-store: persist the built row "
+                        "indexes under DIR so 'gpumem match --index-store "
+                        "DIR' warm-starts from them")
     p.set_defaults(fn=cmd_index)
 
     p = sub.add_parser(

@@ -231,6 +231,7 @@ class BatchRunner:
             self._proc_spec = procpool.make_spec(
                 self.session.reference, self.session.params,
                 use_cache=True, assume_warm=True, tracer=self.tracer,
+                store=self.session.store,
             )
         self._in_flight = 0
         self._in_flight_lock = (lock_factory or new_lock)("batch.in_flight")  # guards: _in_flight

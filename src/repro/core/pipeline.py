@@ -519,6 +519,7 @@ class Pipeline:
             assume_warm=assume_warm,
             token=_cache_token(index_cache),
             tracer=self.tracer,
+            store=getattr(index_cache, "store", None),
         )
         return self.executor.map_row_specs(spec, range(plan.n_rows))
 
@@ -602,6 +603,7 @@ class Pipeline:
         spec = procpool.make_spec(
             reference, self.params, use_cache=True,
             token=_cache_token(cache), tracer=self.tracer,
+            store=getattr(cache, "store", None),
         )
         total = 0.0
         for row, index, seconds in self.executor.build_row_specs(spec, missing):

@@ -109,6 +109,12 @@ class RowTaskSpec:
     #: metric deltas) for the parent to merge. Set automatically by
     #: :func:`make_spec` when the parent's tracer is enabled.
     ship_obs: bool = False
+    #: Persistent index-store cache dir the worker session should attach to
+    #: (``None`` = no explicit store; the worker still resolves the
+    #: inherited ``REPRO_INDEX_STORE`` environment default, if any). Set by
+    #: :func:`make_spec` from the parent session's store, so parent and
+    #: workers share one on-disk warm tier and single-flight their builds.
+    store_dir: str | None = None
 
 
 _token_counter = itertools.count(1)
@@ -135,6 +141,7 @@ def make_spec(
     assume_warm: bool = False,
     token: int | None = None,
     tracer=None,
+    store=None,
 ) -> RowTaskSpec:
     """Build the picklable task spec for ``reference``/``params``/``query``.
 
@@ -142,6 +149,10 @@ def make_spec(
     their observability home (``ship_obs``) — kernel spans, session-cache
     counters, and sanitizer events recorded inside the worker then land in
     the parent's registry/trace instead of dying with the process.
+
+    ``store`` (the parent session's :class:`~repro.index.store.IndexStore`,
+    or ``None``) travels as its cache-dir path so workers attach their own
+    handle to the same on-disk store.
     """
     from repro.obs.tracer import get_tracer
 
@@ -155,6 +166,7 @@ def make_spec(
         assume_warm=assume_warm,
         token=token,
         ship_obs=get_tracer(tracer).enabled,
+        store_dir=None if store is None else str(store.cache_dir),
     )
 
 
@@ -335,8 +347,12 @@ def _session_for(spec: RowTaskSpec):
     homogeneous, so the split costs nothing).
     """
     from repro.core.session import MemSession
+    from repro.index.store import store_at
 
-    key = (spec.ref.fingerprint, spec.params, spec.token, spec.ship_obs)
+    key = (
+        spec.ref.fingerprint, spec.params, spec.token, spec.ship_obs,
+        spec.store_dir,
+    )
     with _worker_lock:
         session = _worker_sessions.get(key)
         if session is not None:
@@ -344,7 +360,8 @@ def _session_for(spec: RowTaskSpec):
             return session
     codes = _attach_codes(spec.ref)
     tracer = worker_obs().tracer if spec.ship_obs else None
-    session = MemSession(codes, spec.params, tracer=tracer)
+    store = store_at(spec.store_dir, tracer=tracer) if spec.store_dir else None
+    session = MemSession(codes, spec.params, tracer=tracer, store=store)
     with _worker_lock:
         session = _worker_sessions.setdefault(key, session)
         _worker_sessions.move_to_end(key)

@@ -186,6 +186,7 @@ class MemServer:
             self._proc_spec_base = procpool.make_spec(
                 self.session.reference, self.session.params,
                 use_cache=True, assume_warm=True, tracer=self.tracer,
+                store=self.session.store,
             )
         self._pool = ThreadPoolExecutor(
             max_workers=self.max_in_flight, thread_name_prefix="gpumem-serve"

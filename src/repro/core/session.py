@@ -57,6 +57,7 @@ class MemSession:
         executor: RowExecutor | str | None = None,
         tracer: Tracer | None = None,
         lock_factory=None,
+        store=None,
         **kwargs,
     ):
         if isinstance(executor, str):
@@ -86,6 +87,15 @@ class MemSession:
             executor=self.pipeline.executor.name,
             params=params.describe(),
         )
+        #: The persistent tiered index store behind this session's cold
+        #: path (:mod:`repro.index.store`): ``store=`` accepts an
+        #: :class:`~repro.index.store.IndexStore`, a cache-dir path, or
+        #: ``None`` — which resolves the ``REPRO_INDEX_STORE`` environment
+        #: default (and stays ``None`` when that is unset).
+        from repro.index.store import resolve_store
+
+        self.store = resolve_store(store)
+        self._fingerprint: str | None = None
         self._row_indexes: dict[int, KmerSeedIndex] = {}
         self._lock = self._lock_factory("session.cache")  # guards: _row_indexes, _build_locks, _hits, _misses, _n_queries
         #: Per-row single-flight build locks, created lazily under _lock
@@ -138,11 +148,45 @@ class MemSession:
                 if index is not None:
                     self._hits += 1
                     return index, 0.0, True
-            index, seconds = build()
+            index, seconds = self._build_row(row, build)
             with self._lock:
                 self._misses += 1
                 self._row_indexes[row] = index
             return index, seconds, False
+
+    def _build_row(self, row: int, build) -> tuple[KmerSeedIndex, float]:
+        """The cold path of :meth:`get_or_build`: direct build, or the
+        persistent store's tier walk when one is attached.
+
+        With a store, a restarted process (or a sibling worker) that
+        already persisted this row serves it as an mmap-backed warm load —
+        near-zero seconds instead of a rebuild — and concurrent cold
+        builders across processes single-flight on the store's file lock.
+        Store loads keep the session-counter semantics of a build (the row
+        was not in *this* session's memory); the ``index.store.*`` metrics
+        carry the tier split.
+        """
+        if self.store is None:
+            return build()
+        ts = self.params.tile_size
+        r0 = row * ts
+        index, seconds, _source = self.store.get_or_build_row(
+            self.fingerprint(),
+            seed_length=self.params.seed_length,
+            step=self.params.step,
+            region_start=r0,
+            region_end=min(r0 + ts, int(self.reference.size)),
+            build=build,
+            tracer=self.tracer,
+        )
+        return index, seconds
+
+    def fingerprint(self) -> str:
+        """Content hash of the bound reference (store / procpool key)."""
+        if self._fingerprint is None:
+            # Benign race: concurrent first callers compute the same value.
+            self._fingerprint = reference_fingerprint(self.reference)
+        return self._fingerprint
 
     # -- geometry --------------------------------------------------------------
     @property
@@ -289,7 +333,7 @@ def reference_fingerprint(codes: np.ndarray) -> str:
 
 def get_session(
     reference, params: GpuMemParams | None = None, /, *,
-    tracer: Tracer | None = None, **kwargs
+    tracer: Tracer | None = None, store=None, **kwargs
 ) -> MemSession:
     """A shared :class:`MemSession` for ``(reference, params)``.
 
@@ -299,14 +343,29 @@ def get_session(
     ``find_rare_mems`` calls against one genome — reuse the same indexes.
     ``tracer`` instruments a freshly built session (an LRU hit keeps the
     session's original tracer) and records the LRU hit/miss either way.
+
+    ``store`` (an :class:`~repro.index.store.IndexStore`, a cache-dir
+    path, or ``None`` for the ``REPRO_INDEX_STORE`` default) is part of
+    the LRU key: the same reference bound to different stores yields
+    distinct sessions, and a fresh session falls back to the store's
+    warm tier instead of rebuilding rows the last process already paid
+    for.
     """
     global _lru_hits, _lru_misses
     if params is None:
         params = GpuMemParams(**kwargs)
     elif kwargs:
         params = params.with_(**kwargs)
+    from repro.index.store import resolve_store
+
+    resolved_store = resolve_store(store)
     codes = as_codes(reference)
-    key = (reference_fingerprint(codes), codes.size, params)
+    key = (
+        reference_fingerprint(codes),
+        codes.size,
+        params,
+        None if resolved_store is None else str(resolved_store.cache_dir),
+    )
     with _session_cache_lock:
         session = _session_cache.get(key)
         if session is not None:
@@ -316,7 +375,7 @@ def get_session(
             return session
         _lru_misses += 1
     get_tracer(tracer).metrics.counter("session.lru.misses").inc()
-    session = MemSession(codes, params, tracer=tracer)
+    session = MemSession(codes, params, tracer=tracer, store=resolved_store)
     with _session_cache_lock:
         _session_cache[key] = session
         while len(_session_cache) > SESSION_CACHE_SIZE:

@@ -115,3 +115,22 @@ class ServerClosedError(GpuMemError, RuntimeError):
 
 class IndexError_(GpuMemError, RuntimeError):
     """An index structure is inconsistent (used by self-check utilities)."""
+
+
+class IndexIntegrityError(IndexError_):
+    """A structural self-check of an index failed.
+
+    Raised by :meth:`repro.index.kmer_index.KmerSeedIndex.check` (and the
+    load-time validation of :mod:`repro.index.serialize`) instead of bare
+    ``assert`` statements, so corruption is still caught under ``python -O``
+    and callers get structured provenance: ``field`` names the inconsistent
+    component (``"ptrs"``, ``"locs"``, ...) and ``path`` the on-disk
+    artifact, when the check ran against one.
+    """
+
+    def __init__(self, message: str, *, field: str | None = None, path=None):
+        #: The inconsistent index component (e.g. ``"ptrs"``), if known.
+        self.field = field
+        #: The on-disk artifact being validated, if any.
+        self.path = str(path) if path is not None else None
+        super().__init__(message)

@@ -21,12 +21,27 @@ from repro.index.matching import SuffixArraySearcher
 from repro.index.rmq import SparseTableRMQ
 from repro.index.sais import sais_suffix_array
 from repro.index.serialize import (
+    FORMAT_VERSION,
+    load_kmer_bundle,
     load_kmer_index,
     load_searcher,
+    load_searcher_bundle,
+    npz_path,
+    save_kmer_bundle,
     save_kmer_index,
     save_searcher,
+    save_searcher_bundle,
 )
 from repro.index.sparse_sa import SparseSuffixArray
+from repro.index.store import (
+    STORE_ENV_VAR,
+    IndexStore,
+    default_store,
+    resolve_store,
+    row_key,
+    searcher_key,
+    store_at,
+)
 from repro.index.suffix_array import (
     naive_suffix_array,
     rank_array,
@@ -61,4 +76,17 @@ __all__ = [
     "load_kmer_index",
     "save_searcher",
     "load_searcher",
+    "FORMAT_VERSION",
+    "npz_path",
+    "save_kmer_bundle",
+    "load_kmer_bundle",
+    "save_searcher_bundle",
+    "load_searcher_bundle",
+    "IndexStore",
+    "STORE_ENV_VAR",
+    "store_at",
+    "default_store",
+    "resolve_store",
+    "row_key",
+    "searcher_key",
 ]

@@ -23,7 +23,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.errors import InvalidParameterError
+from repro.errors import IndexIntegrityError, InvalidParameterError
 from repro.sequence.packed import kmer_codes
 
 
@@ -85,13 +85,34 @@ class KmerSeedIndex:
         return self.locs[self.ptrs[seed_value] : self.ptrs[seed_value + 1]]
 
     def check(self) -> None:
-        """Internal consistency assertions (used by tests and --selfcheck)."""
-        assert self.ptrs.size == self.n_seeds + 1
-        assert self.ptrs[0] == 0 and self.ptrs[-1] == self.n_locs
-        assert np.all(np.diff(self.ptrs) >= 0), "ptrs must be non-decreasing"
+        """Internal consistency checks (used by tests, --selfcheck, and load).
+
+        Raises :class:`repro.errors.IndexIntegrityError` (never a bare
+        ``AssertionError``, which ``python -O`` would strip) so corrupt
+        indexes are rejected structurally on every interpreter mode.
+        """
+        if self.ptrs.size != self.n_seeds + 1:
+            raise IndexIntegrityError(
+                f"ptrs has {self.ptrs.size} entries, expected "
+                f"{self.n_seeds + 1} (4^{self.seed_length} + 1)",
+                field="ptrs",
+            )
+        if self.ptrs[0] != 0 or self.ptrs[-1] != self.n_locs:
+            raise IndexIntegrityError(
+                f"ptrs endpoints ({int(self.ptrs[0])}, {int(self.ptrs[-1])}) "
+                f"do not span [0, n_locs={self.n_locs}]",
+                field="ptrs",
+            )
+        if not np.all(np.diff(self.ptrs) >= 0):
+            raise IndexIntegrityError(
+                "ptrs must be non-decreasing", field="ptrs"
+            )
         for s in range(self.n_seeds):
             grp = self.locs[self.ptrs[s] : self.ptrs[s + 1]]
-            assert np.all(np.diff(grp) > 0), f"seed {s} locations not sorted"
+            if not np.all(np.diff(grp) > 0):
+                raise IndexIntegrityError(
+                    f"seed {s} locations not sorted", field="locs"
+                )
 
 
 def validate_sparsity(seed_length: int, step: int, min_length: int) -> None:

@@ -27,7 +27,16 @@ def reference():
 
 @pytest.fixture()
 def counting_builds(monkeypatch):
-    """Count (and serialize observation of) real row-index builds."""
+    """Count (and serialize observation of) real row-index builds.
+
+    Build counting is only meaningful when every miss actually builds:
+    an ambient persistent index store (``REPRO_INDEX_STORE``, as in the
+    CI ``tests-store`` leg) would serve rows from disk without ever
+    calling the builder, so strip it for these tests.
+    """
+    from repro.index.store import STORE_ENV_VAR
+
+    monkeypatch.delenv(STORE_ENV_VAR, raising=False)
     calls = {"n": 0}
     real = pipeline_mod.build_kmer_index
     lock = threading.Lock()

@@ -125,6 +125,53 @@ class TestIndexSave:
         idx.check()
 
 
+class TestIndexStoreFlags:
+    @pytest.fixture(autouse=True)
+    def _clean(self, monkeypatch):
+        from repro.core.session import clear_session_cache
+        from repro.index.store import STORE_ENV_VAR, clear_store_registry
+
+        monkeypatch.delenv(STORE_ENV_VAR, raising=False)
+        clear_session_cache()
+        clear_store_registry()
+        yield
+        # the flag sets the env var process-wide; scrub it between tests
+        import os
+
+        os.environ.pop(STORE_ENV_VAR, None)
+        clear_session_cache()
+        clear_store_registry()
+
+    def test_index_store_persists_bundles(self, fasta_pair, tmp_path, capsys):
+        rp, *_ = fasta_pair
+        cache = tmp_path / "store"
+        assert main(["index", rp, "-l", "30", "-s", "8",
+                     "--store", str(cache)]) == 0
+        out, err = capsys.readouterr().out, capsys.readouterr().err
+        from repro.index.store import store_at
+
+        assert store_at(cache).stats()["n_bundles"] >= 1
+
+    def test_match_warm_starts_from_store(self, fasta_pair, tmp_path, capsys):
+        rp, qp, *_ = fasta_pair
+        cache = tmp_path / "store"
+        assert main(["match", rp, qp, "-l", "25", "-s", "8",
+                     "--index-store", str(cache)]) == 0
+        cold = capsys.readouterr().out
+        from repro.core.session import clear_session_cache
+        from repro.index.store import clear_store_registry, store_at
+
+        clear_session_cache()
+        clear_store_registry()  # fresh store handle = fresh hot tier
+        assert main(["match", rp, qp, "-l", "25", "-s", "8",
+                     "--index-store", str(cache), "-v"]) == 0
+        captured = capsys.readouterr()
+        assert captured.out == cold  # identical matches either way
+        assert "# index store" in captured.err
+        st = store_at(cache).stats()
+        assert st["builds"] == 0 and st["warm_hits"] >= 1
+
+
 class TestDataset:
     def test_writes_fasta(self, tmp_path, capsys):
         out = tmp_path / "x.fa"

@@ -6,6 +6,7 @@ import pytest
 
 from repro.errors import (
     GpuMemError,
+    IndexIntegrityError,
     InvalidParameterError,
     InvalidSequenceError,
     KernelError,
@@ -29,19 +30,26 @@ class TestCorruptedIndex:
         assert sizes[seed] >= 2
         lo = int(idx.ptrs[seed])
         idx.locs[lo], idx.locs[lo + 1] = idx.locs[lo + 1], idx.locs[lo].copy()
-        with pytest.raises(AssertionError, match="not sorted"):
+        # A structured error (never AssertionError: python -O strips asserts).
+        with pytest.raises(IndexIntegrityError, match="not sorted"):
             idx.check()
 
     def test_check_catches_bad_ptrs(self):
         idx = self.make_index()
         idx.ptrs[5] = idx.ptrs[4] - 1  # non-monotone
-        with pytest.raises(AssertionError):
+        with pytest.raises(IndexIntegrityError, match="non-decreasing"):
             idx.check()
 
     def test_check_catches_bad_total(self):
         idx = self.make_index()
         idx.ptrs[-1] += 1
-        with pytest.raises(AssertionError):
+        with pytest.raises(IndexIntegrityError, match="endpoints"):
+            idx.check()
+
+    def test_integrity_error_is_catchable_as_gpumem_error(self):
+        idx = self.make_index()
+        idx.ptrs[-1] += 1
+        with pytest.raises(GpuMemError):
             idx.check()
 
 
