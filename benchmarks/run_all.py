@@ -34,6 +34,7 @@ import bench_fig5_minlen_scaling
 import bench_fig6_seed_histogram
 import bench_fig7_load_balancing
 import bench_lock_contention
+import bench_resource_tracker
 import bench_sa_builders
 import bench_serve
 import bench_session_reuse
@@ -61,6 +62,7 @@ TARGETS = [
     ("obs_overhead", bench_batch_throughput.generate_obs_overhead_series),
     ("serve", bench_serve.generate_series),
     ("lock_contention", bench_lock_contention.generate_series),
+    ("resource_tracker", bench_resource_tracker.generate_series),
 ]
 
 

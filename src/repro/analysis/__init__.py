@@ -13,6 +13,13 @@ Two complementary layers (see ``docs/analysis.md``):
   conflicts with thread/block/phase provenance. The ``sanitized_device``
   pytest fixture (``repro.analysis.pytest_sanitizer``) packages this for
   kernel tests.
+
+Two further static+runtime twins follow the same pattern (imported as
+submodules to keep this package import light): the host concurrency pair
+(:mod:`repro.analysis.concurrency_lint` /
+:mod:`repro.analysis.lock_tracker`, CL1xx) and the resource-lifecycle
+pair (:mod:`repro.analysis.resource_lint` /
+:mod:`repro.analysis.resource_tracker`, RL1xx).
 """
 
 from repro.analysis.kernel_lint import (

@@ -1,0 +1,88 @@
+"""Pytest plugin: run IPC-heavy tests under the runtime resource tracker.
+
+Register it from a ``conftest.py``::
+
+    pytest_plugins = ["repro.analysis.pytest_resource_tracker"]
+
+Two ways in (mirroring ``pytest_lock_tracker``):
+
+- Take the ``resource_tracker`` fixture: a fresh raise-mode
+  :class:`repro.analysis.resource_tracker.ResourceTracker` is installed
+  process-wide, so every shared-memory segment, store mmap, and fcntl
+  file lock the test touches is tracked. Misuse (double close, double
+  unlink, unbalanced release) raises
+  :class:`repro.errors.ResourceLeakError` at the offending call; at
+  teardown an audit fails the test if any non-adopted resource the test
+  opened is still live.
+- Set ``REPRO_RESOURCE_TRACKER=1`` (CI's ``tests-resource`` leg): one
+  process-global tracker covers *every* test in the run without touching
+  any test body; an autouse fixture audits the per-test *delta* of live
+  resources, so one leaking test does not fail every test after it.
+
+For tests that *expect* findings, build a
+``ResourceTracker(mode="collect")`` and ``install()`` it directly.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.analysis import resource_tracker as rt
+
+
+@pytest.fixture
+def resource_tracker():
+    """A raise-mode tracker installed process-wide for this test."""
+    tracker = rt.ResourceTracker(mode="raise")
+    rt.install(tracker)
+    try:
+        yield tracker
+    finally:
+        rt.uninstall()
+    leaked = tracker.leaks()
+    assert not leaked, (
+        "resource tracker audit found live resources at test teardown:\n"
+        + "\n".join(r.format() for r in leaked)
+    )
+    assert not tracker.findings, (
+        "resource tracker recorded misuse findings:\n"
+        + tracker.format_findings()
+    )
+
+
+@pytest.fixture(autouse=True)
+def _env_resource_tracker():
+    """``REPRO_RESOURCE_TRACKER=1`` mode: per-test delta audit.
+
+    The tracker itself is created lazily by the first hook call (see
+    :func:`repro.analysis.resource_tracker.active_tracker`); this fixture
+    baselines the live-resource set and finding count before the test and
+    audits only what the test added. Long-lived registries (procpool's
+    shared-segment cache, the index store's hot tier) adopt their
+    resources, so cross-test warmth never reads as a leak.
+    """
+    if not os.environ.get("REPRO_RESOURCE_TRACKER"):
+        yield
+        return
+    tracker = rt.active_tracker()
+    if tracker is None:
+        yield
+        return
+    baseline = tracker.live_snapshot()
+    before = len(tracker.findings)
+    yield
+    tracker = rt.active_tracker()
+    if tracker is None:
+        return
+    fresh = tracker.findings[before:]
+    assert not fresh, (
+        "resource tracker recorded misuse during this test:\n"
+        + "\n".join(f.format() for f in fresh)
+    )
+    leaked = tracker.leaks(baseline=baseline)
+    assert not leaked, (
+        "resources opened during this test are still live at teardown:\n"
+        + "\n".join(r.format() for r in leaked)
+    )

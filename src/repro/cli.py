@@ -630,6 +630,7 @@ def cmd_analyze(args) -> int:
         format_findings,
         lint_paths,
     )
+    from repro.analysis.resource_lint import lint_resource_paths
 
     paths = args.paths
     if not paths:
@@ -640,14 +641,18 @@ def cmd_analyze(args) -> int:
     select = args.select.split(",") if args.select else None
     ignore = args.ignore.split(",") if args.ignore else None
     # --device (default, back-compat) = KL SIMT rules; --host = CL lock
-    # rules; --all = both, merged into one report / JSON document.
+    # rules; --resource = RL lifecycle rules; --all = every family,
+    # merged into one report / JSON document.
     device = args.side in ("device", "all")
     host = args.side in ("host", "all")
+    resource = args.side in ("resource", "all")
     findings = []
     if device:
         findings.extend(lint_paths(paths, select=select, ignore=ignore))
     if host:
         findings.extend(lint_host_paths(paths, select=select, ignore=ignore))
+    if resource:
+        findings.extend(lint_resource_paths(paths, select=select, ignore=ignore))
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
     if args.format == "json":
         print(findings_to_json(findings))
@@ -842,9 +847,11 @@ def main(argv=None) -> int:
 
     p = sub.add_parser(
         "analyze",
-        help="static concurrency lint — device (SIMT: barrier divergence, "
-             "shared-memory races, KL1xx-KL2xx) and/or host (lock "
-             "discipline, deadlock shapes, CL1xx) — exit 1 on any finding",
+        help="static analysis — device (SIMT: barrier divergence, "
+             "shared-memory races, KL1xx-KL2xx), host (lock discipline, "
+             "deadlock shapes, CL1xx), and/or resource lifecycles "
+             "(shm/mmap/lock/temp leaks, spawn safety, RL1xx) — exit 1 "
+             "on any finding",
     )
     p.add_argument("paths", nargs="*", metavar="PATH",
                    help="files or directories to lint "
@@ -855,8 +862,11 @@ def main(argv=None) -> int:
                       help="device-side SIMT rules only (KL1xx/KL2xx; default)")
     side.add_argument("--host", dest="side", action="store_const", const="host",
                       help="host-side lock-discipline rules only (CL1xx)")
+    side.add_argument("--resource", dest="side", action="store_const",
+                      const="resource",
+                      help="resource-lifecycle / spawn-safety rules only (RL1xx)")
     side.add_argument("--all", dest="side", action="store_const", const="all",
-                      help="both device and host rule families")
+                      help="every rule family (device + host + resource)")
     p.set_defaults(side="device")
     p.add_argument("--format", choices=("text", "json"), default="text")
     p.add_argument("--select", metavar="RULES", default=None,

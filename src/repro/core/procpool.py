@@ -42,6 +42,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.analysis import resource_tracker as _res
 from repro.core.params import GpuMemParams
 from repro.sequence.packed import PackedSequence, SharedSequenceHandle, pack_bits
 
@@ -210,10 +211,16 @@ def publish_reference(reference: np.ndarray, *, tracer=None) -> ReferenceLocator
         else:
             seq = PackedSequence.from_packed(packed, int(codes.size))
             handle = seq.to_shared()
+            # The registry keeps this segment alive across runners by
+            # design: adopt it so the leak audit charges only segments
+            # that escaped the registry.
+            _res.adopt("shm", handle.shm_name, "procpool._shared_refs")
             _shared_refs[fingerprint] = seq
             while len(_shared_refs) > SHARED_REF_CAPACITY:
                 evicted.append(_shared_refs.popitem(last=False)[1])
     for old in evicted:
+        if old._shm is not None:
+            _res.disown("shm", old._shm.name)
         old.unlink_shared()
     if metrics.enabled:
         metrics.counter("proc.ref.published", transport="shm").inc()
@@ -257,6 +264,8 @@ def shutdown() -> None:
     for pool in pools:
         pool.shutdown(wait=False, cancel_futures=True)
     for seq in refs:
+        if seq._shm is not None:
+            _res.disown("shm", seq._shm.name)
         seq.unlink_shared()
 
 
@@ -302,6 +311,13 @@ def worker_obs():
     with _worker_lock:
         if _worker_obs is None:
             _worker_obs = WorkerObs()
+            # Route this process's res.* counters through the worker
+            # registry so they ride the ObsPayload delta freight home
+            # alongside proc.*/session.* — the parent sees worker-side
+            # segment attaches and closes in its own metrics.
+            tracker = _res.active_tracker()
+            if tracker is not None:
+                tracker.bind_metrics(_worker_obs.tracer.metrics)
         return _worker_obs
 
 
@@ -330,6 +346,11 @@ def _attach_codes(ref: ReferenceLocator) -> np.ndarray:
         if seq is None:
             if ref.handle is not None:
                 seq = PackedSequence.from_shared(ref.handle)
+                # Worker keeps the mapping open for its whole life (that
+                # is the zero-copy point); _worker_cleanup closes it.
+                _res.adopt(
+                    "shm-attach", ref.handle.shm_name, "procpool._worker_refs"
+                )
             else:
                 seq = PackedSequence.from_packed(
                     np.frombuffer(ref.packed, dtype=np.uint8), ref.n_bases

@@ -188,6 +188,15 @@ class MemServer:
                 use_cache=True, assume_warm=True, tracer=self.tracer,
                 store=self.session.store,
             )
+        # Validate everything *before* starting threads or the pool: a
+        # constructor that raises after ``_dispatcher.start()`` leaks a
+        # live dispatcher thread and executor the caller can never join
+        # (found by the resource audit; the half-built server has no
+        # handle to close()).
+        if telemetry_interval <= 0:
+            raise InvalidParameterError(
+                f"telemetry_interval must be > 0, got {telemetry_interval}"
+            )
         self._pool = ThreadPoolExecutor(
             max_workers=self.max_in_flight, thread_name_prefix="gpumem-serve"
         )
@@ -195,10 +204,6 @@ class MemServer:
             target=self._dispatch_loop, name="gpumem-serve-dispatch", daemon=True
         )
         self._dispatcher.start()
-        if telemetry_interval <= 0:
-            raise InvalidParameterError(
-                f"telemetry_interval must be > 0, got {telemetry_interval}"
-            )
         self.telemetry_path = Path(telemetry_path) if telemetry_path else None
         self.telemetry_interval = float(telemetry_interval)
         self._telemetry_stop = threading.Event()

@@ -89,6 +89,25 @@ class LockOrderError(GpuMemError, RuntimeError):
         super().__init__(message)
 
 
+class ResourceLeakError(GpuMemError, RuntimeError):
+    """The runtime resource tracker's end-of-run audit found live resources.
+
+    Raised (in ``mode="raise"``) by
+    :meth:`repro.analysis.resource_tracker.ResourceTracker.audit` when
+    shared-memory segments, file locks, or mmap-backed bundle handles that
+    were opened during the run are still live and not adopted by a
+    registered long-lived holder. ``leaks`` holds the
+    :class:`repro.analysis.resource_tracker.ResourceRecord` entries (kind,
+    name, creating pid, creation site) so reports and tests get structured
+    provenance instead of parsing the message.
+    """
+
+    def __init__(self, message: str, leaks=()):
+        #: live-resource provenance records from the audit
+        self.leaks = tuple(leaks)
+        super().__init__(message)
+
+
 class ServerOverloadedError(GpuMemError, RuntimeError):
     """The serving front end shed a request: the admission queue is full.
 

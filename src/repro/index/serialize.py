@@ -96,16 +96,31 @@ def _atomic_savez(path: Path, **arrays) -> None:
 
 
 def _open_npz(path: Path):
-    """``np.load`` with truncation/corruption mapped to :class:`IndexError_`."""
-    try:
-        return np.load(path, allow_pickle=False)
-    except FileNotFoundError:
-        raise
-    except (zipfile.BadZipFile, ValueError, EOFError, OSError) as exc:
+    """``np.load`` with truncation/corruption mapped to :class:`IndexError_`.
+
+    The archive is probed with an explicitly closed handle first:
+    ``np.load`` opens the file itself and, on a corrupt zip, raises with
+    that handle still open — an fd leak the ``tests-resource`` CI leg
+    (``PYTHONWARNINGS=error::ResourceWarning``) flags.
+    """
+
+    def _reject(exc):
         raise IndexError_(
             f"{path} is not a readable index archive (truncated or "
             f"corrupt?): {exc}"
         ) from None
+
+    try:
+        with open(path, "rb") as probe:
+            zipfile.ZipFile(probe).infolist()
+    except FileNotFoundError:
+        raise
+    except (zipfile.BadZipFile, ValueError, EOFError, OSError) as exc:
+        _reject(exc)
+    try:
+        return np.load(path, allow_pickle=False)
+    except (zipfile.BadZipFile, ValueError, EOFError, OSError) as exc:
+        _reject(exc)
 
 
 # -- header + array validation -------------------------------------------------

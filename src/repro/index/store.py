@@ -50,6 +50,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.analysis import resource_tracker as _res
 from repro.errors import IndexError_
 from repro.index.kmer_index import KmerSeedIndex, build_kmer_index
 from repro.index.matching import SuffixArraySearcher
@@ -95,13 +96,21 @@ class _FileLock:
     def acquire(self) -> None:
         if fcntl is not None:
             fh = open(self.path, "a+")
-            fcntl.flock(fh.fileno(), fcntl.LOCK_EX)
+            try:
+                fcntl.flock(fh.fileno(), fcntl.LOCK_EX)
+            except BaseException:
+                # flock can fail (EINTR under a signal, ENOLCK): the fd
+                # must not outlive the failed acquire (RL104's orphan).
+                fh.close()
+                raise
             self._fh = fh
+            _res.lock_acquired(self.path)
             return
         while True:  # pragma: no cover - exercised only off-POSIX
             try:
                 fd = os.open(self.path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
                 os.close(fd)
+                _res.lock_acquired(self.path)
                 return
             except FileExistsError:
                 try:
@@ -119,9 +128,11 @@ class _FileLock:
             if fh is not None:
                 fcntl.flock(fh.fileno(), fcntl.LOCK_UN)
                 fh.close()
+                _res.lock_released(self.path)
             return
         try:  # pragma: no cover - exercised only off-POSIX
             os.unlink(self.path)
+            _res.lock_released(self.path)
         except OSError:
             pass
 
@@ -201,11 +212,24 @@ class IndexStore:
             return value
 
     def _hot_put(self, key: str, value) -> None:
+        evicted: list[str] = []
         with self._lock:
             self._hot[key] = value
             self._hot.move_to_end(key)
             while len(self._hot) > self.hot_capacity:
-                self._hot.popitem(last=False)
+                evicted.append(self._hot.popitem(last=False)[0])
+        for ekey in evicted:
+            self._drop_mmap(ekey)
+
+    def _drop_mmap(self, key: str) -> None:
+        """Retire a hot entry's mmap adoption (eviction / clear / purge).
+
+        Build-path entries were never mmap-opened; the tracker ignores a
+        close for an unknown path, so this is safe to call for any key.
+        """
+        path = str(self.root / key)
+        _res.disown("mmap", path)
+        _res.mmap_closed(path)
 
     def _count(self, name: str, n=1) -> None:
         with self._lock:
@@ -307,6 +331,12 @@ class IndexStore:
 
     def _record_warm(self, key, value, nbytes_of, metrics, span) -> None:
         nbytes = nbytes_of(value)
+        # The hot tier deliberately keeps the mmap-backed arrays alive
+        # across calls: record the open and adopt it so the end-of-run
+        # leak audit distinguishes this cache from a forgotten handle.
+        path = str(self.root / key)
+        _res.mmap_opened(path)
+        _res.adopt("mmap", path, "IndexStore.hot")
         self._count("warm_hits")
         self._count("bytes_mmapped", nbytes)
         if metrics.enabled:
@@ -413,7 +443,10 @@ class IndexStore:
     def clear_hot(self) -> None:
         """Drop the in-process tier (memory pressure; disk is untouched)."""
         with self._lock:
+            keys = list(self._hot)
             self._hot.clear()
+        for key in keys:
+            self._drop_mmap(key)
 
     def purge(self) -> None:
         """Delete every on-disk artifact of this store's format namespace."""

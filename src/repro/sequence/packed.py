@@ -20,15 +20,41 @@ instead of re-pickling megabytes of reference per task.
 
 from __future__ import annotations
 
+import os
+import sys
 from dataclasses import dataclass
 
 import numpy as np
 
+from repro.analysis import resource_tracker as _res
 from repro.errors import InvalidSequenceError
 from repro.sequence.alphabet import decode, encode
 
 #: Number of bases packed per uint64 limb (2 bits each).
 BASES_PER_LIMB = 32
+
+
+def _defuse_shared_memory(shm) -> None:
+    """Make ``SharedMemory.__del__`` a no-op on a close that raced shutdown.
+
+    When ``close()`` raises ``BufferError`` during interpreter
+    finalization (an exported numpy view outlived teardown order), the
+    destructor would re-raise the same error as an "Exception ignored"
+    message. Blank the instance fields instead: the view's buffer chain
+    keeps the mapping alive, and process exit unmaps it either way.
+    """
+    try:
+        fd = shm._fd
+        if fd >= 0:
+            os.close(fd)
+    except (AttributeError, OSError):  # pragma: no cover - exotic platforms
+        pass
+    try:
+        shm._fd = -1
+        shm._mmap = None
+        shm._buf = None
+    except AttributeError:  # pragma: no cover - stdlib layout change
+        pass
 
 
 
@@ -242,11 +268,20 @@ class PackedSequence:
 
         nbytes = max(1, self._packed.nbytes)  # zero-size segments are illegal
         shm = shared_memory.SharedMemory(create=True, size=nbytes, name=shm_name)
-        view = np.frombuffer(shm.buf, dtype=np.uint8, count=self._packed.size)
-        view[:] = self._packed
-        del view  # release the exported buffer before anyone can close()
+        try:
+            view = np.frombuffer(shm.buf, dtype=np.uint8, count=self._packed.size)
+            view[:] = self._packed
+            del view  # release the exported buffer before anyone can close()
+        except BaseException:
+            # The segment exists in the kernel the moment create=True
+            # returns: a failed copy must tear it down or it outlives the
+            # process (RL101 — the exact leak this guards against).
+            shm.close()
+            shm.unlink()
+            raise
         self._shm = shm
         self._shm_owner = True
+        _res.shm_created(shm.name, nbytes)
         return SharedSequenceHandle(shm_name=shm.name, n_bases=self._n, name=self.name)
 
     @classmethod
@@ -271,6 +306,7 @@ class PackedSequence:
         seq = cls.from_packed(packed, handle.n_bases, name=handle.name)
         seq._shm = shm
         seq._shm_owner = False
+        _res.shm_attached(shm.name)
         return seq
 
     def close_shared(self, *, materialize: bool = True) -> None:
@@ -281,25 +317,54 @@ class PackedSequence:
         into private memory (keeping the sequence usable). Pass
         ``materialize=False`` for teardown-only detaches — the packed
         buffer is dropped instead of copied and only an already-unpacked
-        code cache stays usable. Idempotent; a no-op when not shared.
+        code cache stays usable. Idempotent; a no-op when not shared, and
+        safe to call from finalizers during interpreter shutdown: if
+        teardown order left an exported view alive, the mapping is left
+        for the OS to reclaim instead of raising ``BufferError`` out of
+        ``__del__``/``atexit`` machinery.
         """
-        if self._shm is None:
+        shm = self._shm
+        if shm is None:
             return
         if materialize:
             self._packed = np.array(self._packed, dtype=np.uint8, copy=True)
         else:
             self._packed = np.empty(0, dtype=np.uint8)
-        self._shm.close()
+        owner = self._shm_owner
         self._shm = None
         self._shm_owner = False
+        try:
+            shm.close()
+        except BufferError:
+            if not sys.is_finalizing():
+                # A caller still holds a view of the *old* packed buffer:
+                # restore state so a later retry (after the view dies) works.
+                self._shm = shm
+                self._shm_owner = owner
+                raise
+            _defuse_shared_memory(shm)
+            return  # shutdown: process exit unmaps everything anyway
+        _res.shm_closed(shm.name, owner=owner)
 
     def unlink_shared(self) -> None:
-        """Destroy the shared segment (owner teardown): detach then unlink."""
+        """Destroy the shared segment (owner teardown): detach then unlink.
+
+        Tolerates the name being gone already: a *crashed* attacher's
+        ``multiprocessing`` resource tracker (which registers attachments
+        before Python 3.13's ``track=False``) may reap the segment when
+        the attacher dies between attach and detach. The owner's teardown
+        must still succeed — the goal state (no segment) is reached either
+        way.
+        """
         if self._shm is None:
             return
         shm = self._shm
         self.close_shared()
-        shm.unlink()
+        try:
+            shm.unlink()
+        except FileNotFoundError:
+            pass
+        _res.shm_unlinked(shm.name)
 
     # -- pickling -----------------------------------------------------------------
     def __getstate__(self):

@@ -1,0 +1,208 @@
+"""Deliberately leaky IPC code: the adversarial fixture for the resource
+tooling (the lifetime-layer counterpart of ``planted_host``).
+
+Each planted bug class from ``docs/analysis.md`` — leaked segment,
+double-unlink, escaped mmap view, orphaned lock fd, temp litter — appears
+twice: a *static* shape (raw stdlib calls the AST pass must flag) and a
+*runtime* twin that routes through the library's instrumented seams
+(``PackedSequence.to_shared``, ``IndexStore._FileLock``, the
+``resource_tracker`` mmap hooks) so executing it trips the
+:class:`repro.analysis.resource_tracker.ResourceTracker`. Importing this
+module is harmless — the leaks only manifest when the functions run, and
+the tests clean up out-of-band afterwards so the test process stays tidy.
+
+Compliant twins (``*_safely``) exercise the negative space: correct
+cleanup shapes the lint must stay silent on.
+"""
+
+from __future__ import annotations
+
+import fcntl
+import os
+import threading
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class LeakyTaskSpec:
+    """RL102 / non-spawn-safe spec field: a live lock cannot cross spawn."""
+
+    fingerprint: str
+    guard: threading.Lock
+
+
+@dataclass(frozen=True)
+class TidyTaskSpec:
+    """Compliant twin: strings and ints pickle anywhere (no finding)."""
+
+    fingerprint: str
+    n_bases: int
+
+
+def leak_segment(payload: bytes) -> str:
+    """RL101 / leaked segment: created, written, never closed or unlinked.
+
+    Returns the segment *name* (a string — not a handoff of the object),
+    so the caller can reap the kernel object after the assertion.
+    """
+    shm = shared_memory.SharedMemory(create=True, size=max(1, len(payload)))
+    shm.buf[: len(payload)] = payload
+    return shm.name
+
+
+def publish_segment_safely(payload: bytes) -> shared_memory.SharedMemory:
+    """Compliant twin: ownership of the segment transfers to the caller."""
+    shm = shared_memory.SharedMemory(create=True, size=max(1, len(payload)))
+    shm.buf[: len(payload)] = payload
+    return shm
+
+
+def cleanup_on_success_only(payload: bytes, step) -> None:
+    """RL101 (all-exit-paths form): cleanup present but not in a finally.
+
+    If ``step`` raises, the segment outlives the function — and the
+    process.
+    """
+    shm = shared_memory.SharedMemory(create=True, size=max(1, len(payload)))
+    step()
+    shm.close()
+    shm.unlink()
+
+
+def roundtrip_segment_safely(payload: bytes, step) -> None:
+    """Compliant twin: the finally block covers every exit path."""
+    shm = shared_memory.SharedMemory(create=True, size=max(1, len(payload)))
+    try:
+        step()
+    finally:
+        shm.close()
+        shm.unlink()
+
+
+def double_unlink(payload: bytes) -> None:
+    """RL101 (duplicate-unlink form) / runtime double-unlink.
+
+    Statically, ``seq`` is unlinked at two distinct sites; at runtime the
+    second teardown path (``other`` posing as a co-owner of the same
+    name) trips the tracker's double-unlink finding — the bug class where
+    two registries both believe they own one segment.
+    """
+    from repro.sequence.packed import PackedSequence
+
+    seq = PackedSequence.from_packed(
+        np.frombuffer(payload, dtype=np.uint8), len(payload) * 4
+    )
+    handle = seq.to_shared()
+    other = PackedSequence.from_shared(handle)
+    other._shm_owner = True  # simulates a second "owner" teardown path
+    seq.unlink_shared()
+    other.unlink_shared()
+    seq.unlink_shared()
+
+
+def escaped_mmap_view(path: str) -> np.ndarray:
+    """RL103 / escaped mmap view: the caller receives a file-pinning view."""
+    arr = np.load(path, mmap_mode="r")
+    return arr
+
+
+def copy_mmap_safely(path: str) -> np.ndarray:
+    """Compliant twin: a private copy escapes, the mapping dies here."""
+    arr = np.load(path, mmap_mode="r")
+    return arr.copy()
+
+
+def orphan_lock_fd(path: str, step) -> None:
+    """RL104 / orphaned lock fd: no finally — an exception strands the lock."""
+    fh = open(path, "a+")
+    fcntl.flock(fh.fileno(), fcntl.LOCK_EX)
+    step()
+    fcntl.flock(fh.fileno(), fcntl.LOCK_UN)
+    fh.close()
+
+
+def hold_lock_safely(path: str, step) -> None:
+    """Compliant twin: release + close guaranteed by the finally block."""
+    fh = open(path, "a+")
+    fcntl.flock(fh.fileno(), fcntl.LOCK_EX)
+    try:
+        step()
+    finally:
+        fcntl.flock(fh.fileno(), fcntl.LOCK_UN)
+        fh.close()
+
+
+def leak_temp_file() -> str:
+    """RL105 / temp file without cleanup: mkstemp, write, walk away.
+
+    Returns the *string* path (not a handle handoff) so the caller can
+    remove the file after asserting.
+    """
+    import tempfile
+
+    fd, path = tempfile.mkstemp(prefix="planted-")
+    os.write(fd, b"planted")
+    os.close(fd)
+    return str(path)
+
+
+def temp_file_safely() -> None:
+    """Compliant twin: both the fd and the path are retired in a finally."""
+    import tempfile
+
+    fd, path = tempfile.mkstemp(prefix="planted-")
+    try:
+        os.write(fd, b"planted")
+    finally:
+        os.close(fd)
+        os.unlink(path)
+
+
+# -- runtime twins: the same bug classes through the instrumented seams ------
+
+
+def leak_published_sequence(payload: bytes) -> str:
+    """Runtime twin of :func:`leak_segment`: ``to_shared`` then walk away.
+
+    The owner object is dropped without ``close_shared``/``unlink_shared``
+    — the named segment outlives the function (and the process, without
+    the multiprocessing reaper). Returns the segment name so the caller
+    can reap it after asserting.
+    """
+    from repro.sequence.packed import PackedSequence
+
+    seq = PackedSequence.from_packed(
+        np.frombuffer(payload, dtype=np.uint8), len(payload) * 4
+    )
+    handle = seq.to_shared()
+    return handle.shm_name
+
+
+def open_bundle_and_escape(path: str) -> np.ndarray:
+    """Runtime twin of :func:`escaped_mmap_view`.
+
+    Records the open through the library seam (exactly as
+    ``IndexStore._record_warm`` does) but neither closes nor adopts it,
+    then hands the file-pinning view to the caller.
+    """
+    from repro.analysis import resource_tracker as rt
+
+    arr = np.load(path, mmap_mode="r")
+    rt.mmap_opened(path)
+    return arr  # res: ignore[RL103]  (the planted runtime leak IS the point)
+
+
+def orphan_file_lock(path) -> object:
+    """Runtime twin of :func:`orphan_lock_fd`: acquire, never release.
+
+    Uses the store's real ``_FileLock`` so the tracker's lock table sees
+    the acquire; the returned lock lets the caller release out-of-band.
+    """
+    from repro.index.store import _FileLock
+
+    lock = _FileLock(path)
+    lock.acquire()
+    return lock

@@ -8,10 +8,11 @@ import os
 import repro
 from repro.cli import main
 
-from tests.analysis import planted_host, planted_kernels
+from tests.analysis import planted_host, planted_kernels, planted_resources
 
 PLANTED = planted_kernels.__file__
 PLANTED_HOST = planted_host.__file__
+PLANTED_RESOURCES = planted_resources.__file__
 PRIMITIVES = os.path.join(os.path.dirname(repro.__file__), "gpu", "primitives.py")
 
 
@@ -64,13 +65,29 @@ def test_host_leg_ignores_device_rules_and_vice_versa(capsys):
     assert main(["analyze", "--device", PLANTED_HOST]) == 0
 
 
-def test_all_merges_both_rule_families(capsys):
+def test_resource_leg_flags_planted_resource_bugs(capsys):
+    assert main(["analyze", "--resource", PLANTED_RESOURCES]) == 1
+    out = capsys.readouterr().out
+    for rule in ("RL101", "RL102", "RL103", "RL104", "RL105"):
+        assert rule in out
+
+
+def test_resource_leg_ignores_other_families(capsys):
+    assert main(["analyze", "--resource", PLANTED]) == 0
+    capsys.readouterr()
+    assert main(["analyze", "--device", PLANTED_RESOURCES]) == 0
+    capsys.readouterr()
+    assert main(["analyze", "--host", PLANTED_RESOURCES]) == 0
+
+
+def test_all_merges_every_rule_family(capsys):
     assert main(["analyze", "--all", "--format", "json",
-                 PLANTED, PLANTED_HOST]) == 1
+                 PLANTED, PLANTED_HOST, PLANTED_RESOURCES]) == 1
     data = json.loads(capsys.readouterr().out)
     rules = {entry["rule"] for entry in data}
     assert any(r.startswith("KL") for r in rules)
     assert any(r.startswith("CL") for r in rules)
+    assert any(r.startswith("RL") for r in rules)
 
 
 def test_select_spans_rule_families(capsys):

@@ -10,10 +10,14 @@ from hypothesis import strategies as st
 # Kernel tests can take the `sanitized_device` / `simt_sanitizer` fixtures to
 # run launches under the SIMT race detector (docs/analysis.md); host tests
 # can take `lock_tracker` (or set REPRO_LOCK_TRACKER=1 — CI's
-# tests-locktracker leg) to run under the runtime lock-order sanitizer.
+# tests-locktracker leg) to run under the runtime lock-order sanitizer;
+# IPC-heavy tests can take `resource_tracker` (or set
+# REPRO_RESOURCE_TRACKER=1 — CI's tests-resource leg) to run under the
+# runtime shm/mmap/file-lock leak audit.
 pytest_plugins = [
     "repro.analysis.pytest_sanitizer",
     "repro.analysis.pytest_lock_tracker",
+    "repro.analysis.pytest_resource_tracker",
 ]
 
 # NumPy batch sizes make per-example wall time noisy; correctness, not

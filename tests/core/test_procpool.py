@@ -249,3 +249,57 @@ class TestObsShipping:
         )
         assert isinstance(shipped, ObsPayload)
         assert [t[0] for t in triples2] == [t[0] for t in triples]
+
+
+def _attach_and_die(handle):
+    """Spawn target: attach to the parent's segment, then die uncleanly —
+    the worker never reaches close_shared (the crash window of the
+    attach/compute/detach protocol)."""
+    import os
+    import signal
+
+    from repro.sequence.packed import PackedSequence
+
+    seq = PackedSequence.from_shared(handle)
+    assert len(seq) == handle.n_bases
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+class TestWorkerCrash:
+    """A worker dying mid-attach must not strand the parent's teardown."""
+
+    def test_killed_worker_does_not_strand_parent_unlink(self):
+        import multiprocessing as mp
+        import signal
+
+        from multiprocessing import shared_memory
+
+        from repro.sequence.packed import PackedSequence
+
+        seq = PackedSequence("ACGT" * 200, name="crash-ref")
+        handle = seq.to_shared()
+        ctx = mp.get_context("spawn")
+        proc = ctx.Process(target=_attach_and_die, args=(handle,))
+        proc.start()
+        proc.join(timeout=60)
+        assert proc.exitcode == -signal.SIGKILL
+        # The crashed attacher's multiprocessing resource tracker may (on
+        # pre-3.13 attach registration) reap the segment name before the
+        # owner gets here; unlink_shared must succeed either way.
+        seq.unlink_shared()
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=handle.shm_name)
+
+    def test_unlink_tolerates_externally_reaped_segment(self):
+        """Deterministic form of the crash race: the segment name is
+        destroyed out from under the owner before its unlink runs."""
+        from multiprocessing import shared_memory
+
+        from repro.sequence.packed import PackedSequence
+
+        seq = PackedSequence("ACGT" * 200)
+        handle = seq.to_shared()
+        reaper = shared_memory.SharedMemory(name=handle.shm_name)
+        reaper.close()
+        reaper.unlink()  # poses as the crashed worker's reaper
+        seq.unlink_shared()  # must swallow the FileNotFoundError

@@ -351,3 +351,32 @@ class TestCrossProcessSingleFlight:
         assert len(bundles) == 1
         assert not [p for p in store.root.iterdir()
                     if p.name.startswith(".") and p.is_dir()]
+
+
+class TestLockFdLifetime:
+    """A build exception inside the single-flight critical section must
+    release the per-key fcntl lock (no orphaned .lock fd)."""
+
+    def test_build_exception_releases_key_lock(self, ref, tmp_path,
+                                               resource_tracker):
+        store = IndexStore(tmp_path)
+
+        def explode():
+            raise RuntimeError("planted build failure")
+
+        with pytest.raises(RuntimeError, match="planted build failure"):
+            store.get_or_build_row(
+                FP, seed_length=4, step=3, region_start=0,
+                region_end=ref.size, build=explode,
+            )
+        # the tracker saw the acquire; the finally released it
+        orphaned = [r for r in resource_tracker.leaks() if r.kind == "lock"]
+        assert orphaned == [], [r.format() for r in orphaned]
+
+        # and the key is actually lockable again: a fresh build proceeds
+        calls = []
+        _, _, src = store.get_or_build_row(
+            FP, seed_length=4, step=3, region_start=0, region_end=ref.size,
+            build=_build_counter(ref, calls, seed_length=4, step=3),
+        )
+        assert src == "build" and calls == [1]

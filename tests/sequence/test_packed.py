@@ -1,5 +1,7 @@
 """Tests for repro.sequence.packed."""
 
+import os
+
 import numpy as np
 import pytest
 from hypothesis import given, strategies as st
@@ -242,3 +244,74 @@ class TestSharedMemory:
         # the clone never references the (now unlinked) segment
         assert clone == seq
         assert np.array_equal(clone.codes(), seq.codes())
+
+
+class TestCloseLifecycle:
+    """close_shared idempotency, BufferError retry, shutdown safety."""
+
+    def _fresh(self):
+        return PackedSequence("ACGT" * 60, name="ref")
+
+    def test_attacher_double_close_is_idempotent(self):
+        seq = self._fresh()
+        try:
+            other = PackedSequence.from_shared(seq.to_shared())
+            other.close_shared()
+            other.close_shared()  # second close: no-op, no error
+        finally:
+            seq.unlink_shared()
+
+    def test_owner_double_close_is_idempotent(self):
+        seq = self._fresh()
+        handle = seq.to_shared()
+        seq.close_shared()
+        seq.close_shared()  # no-op
+        # the named segment still exists (close only unmapped): reap it
+        from multiprocessing import shared_memory
+
+        shm = shared_memory.SharedMemory(name=handle.shm_name)
+        shm.close()
+        shm.unlink()
+
+    def test_live_view_raises_then_retry_succeeds(self):
+        seq = self._fresh()
+        try:
+            other = PackedSequence.from_shared(seq.to_shared())
+            view = other.packed  # export over shm.buf pins the mapping
+            with pytest.raises(BufferError):
+                other.close_shared()
+            # state was restored: dropping the view makes a retry work
+            del view
+            other.close_shared()
+            assert np.array_equal(other.codes(), seq.codes())
+        finally:
+            seq.unlink_shared()
+
+    def test_interpreter_shutdown_finalizer_is_silent(self):
+        """A __del__-driven close during shutdown must not print
+        BufferError tracebacks or trip error::ResourceWarning."""
+        import subprocess
+        import sys
+
+        script = (
+            "from repro.sequence.packed import PackedSequence\n"
+            "class Holder:\n"
+            "    def __init__(self):\n"
+            "        self.seq = PackedSequence('ACGT' * 50)\n"
+            "        self.att = PackedSequence.from_shared(self.seq.to_shared())\n"
+            "        self.view = self.att.packed  # outlives teardown order\n"
+            "    def __del__(self):\n"
+            "        self.att.close_shared(materialize=False)\n"
+            "        self.seq.unlink_shared()\n"
+            "holder = Holder()\n"
+        )
+        env = dict(os.environ, PYTHONWARNINGS="error::ResourceWarning")
+        env["PYTHONPATH"] = os.pathsep.join(
+            [str(p) for p in sys.path if p] or [""]
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True, text=True, env=env, timeout=60,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert proc.stderr == "", proc.stderr
